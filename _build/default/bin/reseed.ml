@@ -1,0 +1,263 @@
+(* reseed — command-line front-end to the Functional BIST reseeding
+   toolkit.
+
+   Subcommands:
+     info      list the built-in benchmark catalog
+     atpg      run the deterministic ATPG on a circuit
+     solve     compute a minimal reseeding solution (the paper's flow)
+     gatsby    run the GATSBY-style genetic baseline
+     tradeoff  sweep evolution length T (Figure 2 style)
+     gen       emit a synthetic ISCAS-like circuit as a .bench file
+
+   Circuits are named by catalog entry ("c432", "s1238", …) or by a path
+   to an ISCAS .bench file. *)
+
+open Cmdliner
+open Reseed_core
+open Reseed_gatsby
+open Reseed_netlist
+open Reseed_tpg
+open Reseed_util
+
+let load_circuit name ~scale =
+  if Filename.check_suffix name ".bench" then Bench_io.parse_file name
+  else Library.load ~scale_factor:scale name
+
+let tpg_of_name name width =
+  match name with
+  | "adder" -> Accumulator.adder width
+  | "subtracter" -> Accumulator.subtracter width
+  | "multiplier" -> Accumulator.multiplier width
+  | "mp-lfsr" -> Lfsr.multi_polynomial width
+  | other -> failwith (Printf.sprintf "unknown TPG %S (adder|subtracter|multiplier|mp-lfsr)" other)
+
+(* Common arguments *)
+
+let circuit_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc:"Catalog name or .bench file.")
+
+let scale_arg =
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Divide synthetic circuit size by $(docv).")
+
+let tpg_arg =
+  Arg.(value & opt string "adder" & info [ "tpg" ] ~docv:"TPG" ~doc:"adder, subtracter, multiplier or mp-lfsr.")
+
+let cycles_arg =
+  Arg.(value & opt int 150 & info [ "cycles"; "T" ] ~docv:"T" ~doc:"Evolution length per triplet.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+(* info *)
+
+let info_cmd =
+  let run () =
+    let t =
+      Table.create ~title:"Built-in benchmark catalog"
+        [
+          ("Name", Table.Left);
+          ("PIs", Table.Right);
+          ("POs", Table.Right);
+          ("Gates", Table.Right);
+          ("Source", Table.Left);
+        ]
+    in
+    List.iter
+      (fun (name, spec) ->
+        Table.add_row t
+          [
+            name;
+            Table.cell_int spec.Generator.n_inputs;
+            Table.cell_int spec.Generator.n_outputs;
+            Table.cell_int spec.Generator.n_gates;
+            (if name = "c17" then "embedded ISCAS netlist" else "synthetic ISCAS-like");
+          ])
+      Library.paper_suite;
+    Table.print t
+  in
+  Cmd.v (Cmd.info "info" ~doc:"List the built-in benchmark catalog.")
+    Term.(const run $ const ())
+
+(* atpg *)
+
+let atpg_cmd =
+  let engine_arg =
+    Arg.(value & opt string "podem" & info [ "engine" ] ~docv:"E" ~doc:"podem or sat.")
+  in
+  let run name scale engine_name =
+    let c = load_circuit name ~scale in
+    Printf.printf "%s\n" (Circuit.stats_line c);
+    let engine =
+      match engine_name with
+      | "podem" -> Reseed_atpg.Atpg.Podem_engine
+      | "sat" -> Reseed_atpg.Atpg.Sat_engine
+      | other -> failwith (Printf.sprintf "unknown engine %S (podem|sat)" other)
+    in
+    let config = { Reseed_atpg.Atpg.default_config with Reseed_atpg.Atpg.engine } in
+    let sim, r = Reseed_atpg.Atpg.run_circuit ~config c in
+    Printf.printf "faults (collapsed): %d\n" (Reseed_fault.Fault_sim.fault_count sim);
+    Printf.printf "test set: %d patterns\n" (Array.length r.Reseed_atpg.Atpg.tests);
+    Printf.printf "coverage of detectable faults: %.2f%%\n"
+      (Reseed_atpg.Atpg.fault_coverage sim r);
+    Printf.printf "untestable: %d, aborted: %d\n"
+      (List.length r.Reseed_atpg.Atpg.untestable)
+      (List.length r.Reseed_atpg.Atpg.aborted)
+  in
+  Cmd.v (Cmd.info "atpg" ~doc:"Run the deterministic ATPG on a circuit.")
+    Term.(const run $ circuit_arg $ scale_arg $ engine_arg)
+
+(* solve *)
+
+let solve_cmd =
+  let method_arg =
+    Arg.(value & opt string "exact" & info [ "method" ] ~docv:"M" ~doc:"exact, greedy or noreduce.")
+  in
+  let verify_arg =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Re-simulate the final solution from scratch.")
+  in
+  let objective_arg =
+    Arg.(value & opt string "triplets" & info [ "objective" ] ~docv:"O" ~doc:"triplets (paper) or length (weighted extension).")
+  in
+  let run name scale tpg_name cycles method_name verify objective_name =
+    let c = load_circuit name ~scale in
+    let p = Suite.prepare_circuit c in
+    let tpg = tpg_of_name tpg_name (Circuit.input_count c) in
+    let method_ =
+      match method_name with
+      | "exact" -> Reseed_setcover.Solution.Exact
+      | "greedy" -> Reseed_setcover.Solution.Greedy_only
+      | "noreduce" -> Reseed_setcover.Solution.No_reduction_exact
+      | other -> failwith (Printf.sprintf "unknown method %S" other)
+    in
+    let objective =
+      match objective_name with
+      | "triplets" -> Flow.Min_triplets
+      | "length" -> Flow.Min_test_length
+      | other -> failwith (Printf.sprintf "unknown objective %S (triplets|length)" other)
+    in
+    let config =
+      {
+        Flow.default_config with
+        Flow.builder = { Builder.default_config with Builder.cycles };
+        method_;
+        objective;
+      }
+    in
+    let r = Flow.run ~config p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets in
+    let stats = r.Flow.solution.Reseed_setcover.Solution.stats in
+    Printf.printf "%s + %s TPG (T=%d)\n" (Circuit.name c) tpg_name cycles;
+    Printf.printf "initial matrix: %dx%d\n" stats.Reseed_setcover.Solution.initial_rows
+      stats.Reseed_setcover.Solution.initial_cols;
+    Printf.printf "necessary triplets: %d\n"
+      (List.length stats.Reseed_setcover.Solution.necessary);
+    Printf.printf "reduced matrix: %dx%d\n" stats.Reseed_setcover.Solution.reduced_rows
+      stats.Reseed_setcover.Solution.reduced_cols;
+    Printf.printf "from exact solver: %d\n"
+      (List.length stats.Reseed_setcover.Solution.from_solver);
+    Printf.printf "solution: %d triplets, test length %d, coverage %.2f%%\n"
+      (Flow.reseedings r) r.Flow.test_length r.Flow.coverage_pct;
+    List.iteri (fun i t -> Format.printf "  %2d: %a@." i Triplet.pp t) r.Flow.final_triplets;
+    if verify then begin
+      let ok = Flow.verify p.Suite.sim tpg r in
+      Printf.printf "verification: %s\n" (if ok then "PASSED" else "FAILED");
+      if not ok then exit 1
+    end
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Compute a minimal reseeding solution (set covering flow).")
+    Term.(
+      const run $ circuit_arg $ scale_arg $ tpg_arg $ cycles_arg $ method_arg $ verify_arg
+      $ objective_arg)
+
+(* gatsby *)
+
+let gatsby_cmd =
+  let pop_arg = Arg.(value & opt int 12 & info [ "population" ] ~docv:"P") in
+  let gens_arg = Arg.(value & opt int 6 & info [ "generations" ] ~docv:"G") in
+  let run name scale tpg_name cycles seed pop gens =
+    let c = load_circuit name ~scale in
+    let p = Suite.prepare_circuit c in
+    let tpg = tpg_of_name tpg_name (Circuit.input_count c) in
+    let config =
+      {
+        Gatsby.default_config with
+        Gatsby.cycles;
+        ga = { Ga.default_config with Ga.population = pop; generations = gens };
+      }
+    in
+    let rng = Rng.create seed in
+    let g = Gatsby.run ~config p.Suite.sim tpg ~rng ~targets:p.Suite.targets in
+    Printf.printf "%s + %s TPG (T=%d, GA %dx%d)\n" (Circuit.name c) tpg_name cycles pop gens;
+    Printf.printf "triplets: %d, test length: %d\n"
+      (List.length g.Gatsby.triplets) g.Gatsby.test_length;
+    Printf.printf "coverage: %.2f%% of targets\n"
+      (Stats.pct (Bitvec.count g.Gatsby.detected) (max 1 (Bitvec.count p.Suite.targets)));
+    Printf.printf "fault simulations: %d, GA evaluations: %d\n" g.Gatsby.fault_sims
+      g.Gatsby.ga_evaluations
+  in
+  Cmd.v (Cmd.info "gatsby" ~doc:"Run the GATSBY-style genetic baseline.")
+    Term.(const run $ circuit_arg $ scale_arg $ tpg_arg $ cycles_arg $ seed_arg $ pop_arg $ gens_arg)
+
+(* tradeoff *)
+
+let tradeoff_cmd =
+  let grid_arg =
+    Arg.(value & opt string "16,64,256,1024" & info [ "grid" ] ~docv:"T1,T2,.." ~doc:"Evolution lengths to sweep.")
+  in
+  let run name scale tpg_name grid =
+    let c = load_circuit name ~scale in
+    let p = Suite.prepare_circuit c in
+    let tpg = tpg_of_name tpg_name (Circuit.input_count c) in
+    let grid = List.map int_of_string (String.split_on_char ',' grid) in
+    let points = Suite.figure2 ~grid p tpg in
+    print_string (Tradeoff.render points)
+  in
+  Cmd.v (Cmd.info "tradeoff" ~doc:"Sweep evolution length T: reseedings vs test length.")
+    Term.(const run $ circuit_arg $ scale_arg $ tpg_arg $ grid_arg)
+
+(* fullscan *)
+
+let fullscan_cmd =
+  let in_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Sequential .bench file.")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output combinational-core .bench path.")
+  in
+  let run input out =
+    let ic = open_in_bin input in
+    let text =
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          really_input_string ic (in_channel_length ic))
+    in
+    let base = Filename.remove_extension (Filename.basename input) in
+    let core, dffs = Bench_io.parse_full_scan ~name:(base ^ "_core") text in
+    Bench_io.write_file out core;
+    Printf.printf "converted %d flip-flops; wrote %s (%s)\n" dffs out
+      (Circuit.stats_line core)
+  in
+  Cmd.v
+    (Cmd.info "fullscan"
+       ~doc:"Extract the full-scan combinational core of a sequential .bench circuit.")
+    Term.(const run $ in_arg $ out_arg)
+
+(* gen *)
+
+let gen_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .bench path.")
+  in
+  let run name scale out =
+    let c = load_circuit name ~scale in
+    Bench_io.write_file out c;
+    Printf.printf "wrote %s (%s)\n" out (Circuit.stats_line c)
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Emit a catalog circuit as an ISCAS .bench file.")
+    Term.(const run $ circuit_arg $ scale_arg $ out_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info_ = Cmd.info "reseed" ~version:"1.0.0" ~doc:"Set-covering reseeding for Functional BIST (DATE 2001 reproduction)." in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info_
+          [ info_cmd; atpg_cmd; solve_cmd; gatsby_cmd; tradeoff_cmd; fullscan_cmd; gen_cmd ]))

@@ -1,0 +1,1 @@
+examples/atpg_demo.ml: Array Atpg Bitvec Circuit Fault Fault_sim Library List Podem Printf Reseed_atpg Reseed_fault Reseed_netlist Reseed_util String

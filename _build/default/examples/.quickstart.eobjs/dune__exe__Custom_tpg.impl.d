@@ -1,0 +1,1 @@
+examples/custom_tpg.ml: Accumulator Circuit Flow Lfsr Library List Printf Reseed_core Reseed_netlist Reseed_tpg Reseed_util Suite Tpg Word

@@ -1,0 +1,1 @@
+examples/diagnosis.ml: Accumulator Array Bitvec Circuit Diagnose Fault Fault_sim Flow Library List Printf Reseed_core Reseed_fault Reseed_netlist Reseed_tpg Reseed_util Rng String Suite Triplet

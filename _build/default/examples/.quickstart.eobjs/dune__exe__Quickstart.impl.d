@@ -1,0 +1,1 @@
+examples/quickstart.ml: Accumulator Array Circuit Flow Format List Printf Reseed_core Reseed_netlist Reseed_tpg Reseed_util Suite Triplet

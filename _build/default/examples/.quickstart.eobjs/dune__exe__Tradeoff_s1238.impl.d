@@ -1,0 +1,1 @@
+examples/tradeoff_s1238.ml: Accumulator Circuit List Printf Reseed_core Reseed_netlist Reseed_tpg Suite Tradeoff

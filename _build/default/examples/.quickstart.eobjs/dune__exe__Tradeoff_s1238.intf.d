@@ -1,0 +1,1 @@
+examples/tradeoff_s1238.mli:

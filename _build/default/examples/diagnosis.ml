@@ -1,0 +1,63 @@
+(* Closing the BIST loop: after the reseeding solution is computed, build
+   a fault dictionary for the applied pattern sequence and locate injected
+   defects from their pass/fail signatures.
+
+   Run with: dune exec examples/diagnosis.exe *)
+
+open Reseed_core
+open Reseed_fault
+open Reseed_netlist
+open Reseed_tpg
+open Reseed_util
+
+let () =
+  let circuit = Library.mux_tree 4 in
+  let prepared = Suite.prepare_circuit circuit in
+  let tpg = Accumulator.adder (Circuit.input_count circuit) in
+  Printf.printf "UUT: %s\n" (Circuit.stats_line circuit);
+
+  let result =
+    Flow.run prepared.Suite.sim tpg ~tests:prepared.Suite.tests
+      ~targets:prepared.Suite.targets
+  in
+  let patterns =
+    Array.concat (List.map (fun t -> Triplet.patterns tpg t) result.Flow.final_triplets)
+  in
+  Printf.printf "BIST session: %d triplets, %d applied patterns\n"
+    (Flow.reseedings result) (Array.length patterns);
+
+  (* Precompute the fault dictionary for this session. *)
+  let dictionary = Diagnose.build prepared.Suite.sim patterns in
+  Printf.printf "Dictionary: %d faults, %d distinct signatures\n"
+    (Diagnose.fault_count dictionary)
+    (Diagnose.resolution dictionary);
+
+  (* Inject a handful of faults and locate them from their signatures. *)
+  let rng = Rng.create 2024 in
+  let located = ref 0 and ambiguous = ref 0 and trials = 12 in
+  for _ = 1 to trials do
+    let fi = Rng.int rng (Diagnose.fault_count dictionary) in
+    let observed = Diagnose.observe_fault dictionary fi in
+    if Bitvec.is_empty observed then ()
+    else
+      match Diagnose.diagnose dictionary ~observed () with
+      | best :: _ when best.Diagnose.distance = 0 && List.mem fi best.Diagnose.faults ->
+          incr located;
+          if List.length best.Diagnose.faults > 1 then incr ambiguous
+      | _ -> Printf.printf "  fault %d NOT located!\n" fi
+  done;
+  Printf.printf "Located %d injected defects (%d within an equivalence class)\n"
+    !located !ambiguous;
+  let faults = Fault_sim.faults prepared.Suite.sim in
+  let example = Rng.int rng (Array.length faults) in
+  let observed = Diagnose.observe_fault dictionary example in
+  if not (Bitvec.is_empty observed) then begin
+    Printf.printf "Example report for injected %s:\n"
+      (Fault.to_string circuit faults.(example));
+    List.iteri
+      (fun rank c ->
+        Printf.printf "  #%d (distance %d): %s\n" (rank + 1) c.Diagnose.distance
+          (String.concat ", "
+             (List.map (fun fj -> Fault.to_string circuit faults.(fj)) c.Diagnose.faults)))
+      (Diagnose.diagnose dictionary ~observed ~max_candidates:3 ())
+  end

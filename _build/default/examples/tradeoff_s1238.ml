@@ -1,0 +1,27 @@
+(* Figure 2 scenario: explore the trade-off between the number of
+   reseedings (area to store triplets) and the global test length on the
+   s1238 workload with an adder-based accumulator.
+
+   Run with: dune exec examples/tradeoff_s1238.exe *)
+
+open Reseed_core
+open Reseed_netlist
+open Reseed_tpg
+
+let () =
+  let prepared = Suite.prepare "s1238" in
+  let tpg = Accumulator.adder (Circuit.input_count prepared.Suite.circuit) in
+  Printf.printf "Workload: %s\n\n" (Circuit.stats_line prepared.Suite.circuit);
+  let points = Suite.figure2 ~grid:[ 16; 64; 256; 1024 ] prepared tpg in
+  print_string (Tradeoff.render points);
+  (* The paper's observation: a handful of long-evolving triplets can
+     replace many short ones — trade ROM area for test time. *)
+  let first = List.hd points and last = List.nth points (List.length points - 1) in
+  Printf.printf
+    "\nFrom %d triplets (test length %d) down to %d triplets (test length %d).\n"
+    first.Tradeoff.triplets first.Tradeoff.test_length last.Tradeoff.triplets
+    last.Tradeoff.test_length;
+  if last.Tradeoff.triplets > first.Tradeoff.triplets then begin
+    Printf.printf "Trade-off shape violated!\n";
+    exit 1
+  end

@@ -1,0 +1,1 @@
+lib/atpg/atpg.ml: Array Bitvec Compact Fault Fault_sim List Podem Random_gen Reseed_fault Reseed_util Rng Satpg Stats Testability

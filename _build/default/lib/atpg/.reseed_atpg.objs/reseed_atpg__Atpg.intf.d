@@ -1,0 +1,1 @@
+lib/atpg/atpg.mli: Bitvec Circuit Fault_sim Podem Reseed_fault Reseed_netlist Reseed_util

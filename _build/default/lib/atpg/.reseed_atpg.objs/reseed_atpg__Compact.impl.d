@@ -1,0 +1,1 @@
+lib/atpg/compact.ml: Array Bitvec Fault_sim List Matrix Reseed_fault Reseed_setcover Reseed_util Solution

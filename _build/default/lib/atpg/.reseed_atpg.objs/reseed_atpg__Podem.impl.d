@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Circuit Fault Gate Option Reseed_fault Reseed_netlist Reseed_util Rng Ternary Testability

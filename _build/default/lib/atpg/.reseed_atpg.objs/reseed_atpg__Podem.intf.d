@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Circuit Fault Reseed_fault Reseed_netlist Reseed_util Rng Testability

@@ -1,0 +1,1 @@
+lib/atpg/random_gen.ml: Array Bitvec Circuit Fault_sim List Reseed_fault Reseed_netlist Reseed_util Rng

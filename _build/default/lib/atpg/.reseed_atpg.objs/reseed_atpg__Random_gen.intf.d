@@ -1,0 +1,1 @@
+lib/atpg/random_gen.mli: Bitvec Fault_sim Reseed_fault Reseed_util Rng

@@ -1,0 +1,1 @@
+lib/atpg/satpg.ml: Array Bitvec Circuit Fault Fault_sim Gate List Reseed_fault Reseed_netlist Reseed_sat Reseed_util Sat

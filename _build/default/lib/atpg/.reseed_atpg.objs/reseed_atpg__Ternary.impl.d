@@ -1,0 +1,1 @@
+lib/atpg/ternary.ml: Array Circuit Fault Gate Reseed_fault Reseed_netlist

@@ -1,0 +1,1 @@
+lib/atpg/ternary.mli: Circuit Gate Reseed_fault Reseed_netlist

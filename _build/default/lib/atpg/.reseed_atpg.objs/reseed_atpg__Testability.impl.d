@@ -1,0 +1,1 @@
+lib/atpg/testability.ml: Array Circuit Gate Reseed_netlist

@@ -1,0 +1,1 @@
+lib/atpg/testability.mli: Circuit Reseed_netlist

@@ -1,0 +1,107 @@
+open Reseed_fault
+open Reseed_util
+
+type engine = Podem_engine | Sat_engine
+
+type config = {
+  seed : int;
+  max_random_patterns : int;
+  max_backtracks : int;
+  compaction : bool;
+  use_random_phase : bool;
+  engine : engine;
+}
+
+let default_config =
+  {
+    seed = 42;
+    max_random_patterns = 10_000;
+    max_backtracks = 2000;
+    compaction = true;
+    use_random_phase = true;
+    engine = Podem_engine;
+  }
+
+type result = {
+  tests : bool array array;
+  detected : Bitvec.t;
+  untestable : int list;
+  aborted : int list;
+  random_patterns_tried : int;
+  podem_stats : Podem.stats;
+  dropped_by_compaction : int;
+}
+
+let fault_coverage sim r =
+  let detectable = Fault_sim.fault_count sim - List.length r.untestable in
+  Stats.pct (Bitvec.count r.detected) (max 1 detectable)
+
+let run ?(config = default_config) sim =
+  let c = Fault_sim.circuit sim in
+  let faults = Fault_sim.faults sim in
+  let nf = Array.length faults in
+  let rng = Rng.create config.seed in
+  let detected = Bitvec.create nf in
+  let tests = ref [] in
+  let n_tests = ref 0 in
+  let push_tests arr =
+    Array.iter (fun t -> tests := t :: !tests) arr;
+    n_tests := !n_tests + Array.length arr
+  in
+  (* Phase 1: random patterns. *)
+  let random_tried = ref 0 in
+  if config.use_random_phase then begin
+    let r =
+      Random_gen.run sim ~rng ~max_patterns:config.max_random_patterns ()
+    in
+    push_tests r.Random_gen.tests;
+    Bitvec.union_into ~into:detected r.Random_gen.detected;
+    random_tried := r.Random_gen.patterns_tried
+  end;
+  (* Phase 2: PODEM per surviving fault, with collateral dropping. *)
+  let podem_stats = Podem.new_stats () in
+  let testability = Testability.compute c in
+  let untestable = ref [] and aborted = ref [] in
+  let deterministic_generate fault =
+    match config.engine with
+    | Podem_engine ->
+        Podem.generate c fault ~rng ~max_backtracks:config.max_backtracks
+          ~testability ~stats:podem_stats ()
+    | Sat_engine -> (
+        match Satpg.generate c fault () with
+        | Satpg.Test t -> Podem.Test t
+        | Satpg.Untestable -> Podem.Untestable
+        | Satpg.Aborted -> Podem.Aborted)
+  in
+  for fi = 0 to nf - 1 do
+    if not (Bitvec.get detected fi) then begin
+      match deterministic_generate faults.(fi) with
+      | Podem.Test pattern ->
+          let active = Bitvec.create nf in
+          Bitvec.fill_all active;
+          Bitvec.diff_into ~into:active detected;
+          let newly = Fault_sim.detected_set sim [| pattern |] ~active in
+          Bitvec.union_into ~into:detected newly;
+          push_tests [| pattern |]
+      | Podem.Untestable -> untestable := fi :: !untestable
+      | Podem.Aborted -> aborted := fi :: !aborted
+    end
+  done;
+  let tests_arr = Array.of_list (List.rev !tests) in
+  (* Phase 3: compaction. *)
+  let tests_arr, dropped =
+    if config.compaction then Compact.reverse_order sim tests_arr else (tests_arr, 0)
+  in
+  {
+    tests = tests_arr;
+    detected;
+    untestable = List.rev !untestable;
+    aborted = List.rev !aborted;
+    random_patterns_tried = !random_tried;
+    podem_stats;
+    dropped_by_compaction = dropped;
+  }
+
+let run_circuit ?config c =
+  let sim = Fault_sim.create c (Fault.all c) in
+  (sim, run ?config sim)

@@ -1,0 +1,47 @@
+(** Complete deterministic test-generation flow (the *TestGen* substitute).
+
+    Pipeline: random-pattern phase with fault dropping → PODEM on every
+    surviving fault (dropping collateral detections after each new test) →
+    reverse-order static compaction.  The result is the deterministic test
+    set [ATPGTS] the paper feeds to the Initial Reseeding Builder, plus
+    the classification of every fault. *)
+
+open Reseed_netlist
+open Reseed_fault
+open Reseed_util
+
+type engine =
+  | Podem_engine  (** structural PODEM (default) *)
+  | Sat_engine  (** SAT-based generation (Larrabee); same completeness *)
+
+type config = {
+  seed : int;  (** RNG seed for random phase and don't-care fill *)
+  max_random_patterns : int;  (** budget for the random phase *)
+  max_backtracks : int;  (** PODEM budget per fault *)
+  compaction : bool;  (** run reverse-order compaction *)
+  use_random_phase : bool;
+  engine : engine;
+}
+
+val default_config : config
+
+type result = {
+  tests : bool array array;  (** the deterministic test set, ATPGTS *)
+  detected : Bitvec.t;  (** over the fault list, after the whole flow *)
+  untestable : int list;  (** fault indices proven redundant *)
+  aborted : int list;  (** fault indices abandoned (budget) *)
+  random_patterns_tried : int;
+  podem_stats : Podem.stats;
+  dropped_by_compaction : int;
+}
+
+(** [fault_coverage sim r] is FC% over the detectable faults
+    (testable-fault coverage, the figure the paper reports). *)
+val fault_coverage : Fault_sim.t -> result -> float
+
+(** [run ?config sim] generates tests for every fault of [sim]'s list. *)
+val run : ?config:config -> Fault_sim.t -> result
+
+(** [run_circuit ?config c] builds the collapsed fault list and simulator,
+    then runs the flow; returns the simulator too. *)
+val run_circuit : ?config:config -> Circuit.t -> Fault_sim.t * result

@@ -1,0 +1,36 @@
+(** PODEM — path-oriented decision making deterministic test generation.
+
+    Classic Goel-style PODEM: decisions are made only on primary inputs,
+    objectives are derived from fault activation and the D-frontier, and a
+    backtrace maps each objective to a PI assignment.  The search is
+    complete, so exhausting it proves the fault untestable (redundant);
+    a backtrack budget bounds worst-case behaviour. *)
+
+open Reseed_netlist
+open Reseed_fault
+open Reseed_util
+
+type outcome =
+  | Test of bool array
+      (** a fully-specified test pattern (don't-cares filled from the RNG) *)
+  | Untestable  (** complete search exhausted: the fault is redundant *)
+  | Aborted  (** backtrack budget exceeded *)
+
+type stats = { mutable backtracks : int; mutable decisions : int }
+
+val new_stats : unit -> stats
+
+(** [generate c fault ~rng ?max_backtracks ?testability ?stats ()]
+    attempts to derive a test for [fault].  [max_backtracks] defaults to
+    2000.  Pass a precomputed [testability] when generating for many
+    faults of the same circuit (it guides branch ordering; recomputed
+    per call otherwise). *)
+val generate :
+  Circuit.t ->
+  Fault.t ->
+  rng:Rng.t ->
+  ?max_backtracks:int ->
+  ?testability:Testability.t ->
+  ?stats:stats ->
+  unit ->
+  outcome

@@ -1,0 +1,56 @@
+open Reseed_netlist
+open Reseed_fault
+open Reseed_util
+
+type result = {
+  tests : bool array array;
+  detected : Bitvec.t;
+  patterns_tried : int;
+}
+
+let run sim ~rng ?already ?(max_patterns = 10_000) ?(give_up_after = 5) () =
+  let c = Fault_sim.circuit sim in
+  let n_pi = Circuit.input_count c in
+  let nf = Fault_sim.fault_count sim in
+  let detected =
+    match already with
+    | Some d ->
+        if Bitvec.length d <> nf then invalid_arg "Random_gen.run: mask size";
+        Bitvec.copy d
+    | None -> Bitvec.create nf
+  in
+  let initially_detected = Bitvec.copy detected in
+  let block_size = 62 in
+  let kept = ref [] in
+  let tried = ref 0 in
+  let useless_blocks = ref 0 in
+  while !tried < max_patterns && !useless_blocks < give_up_after do
+    let block =
+      Array.init block_size (fun _ -> Array.init n_pi (fun _ -> Rng.bool rng))
+    in
+    tried := !tried + block_size;
+    (* Which still-active faults does this block catch, and with which
+       pattern first?  Keep only first-detecting patterns. *)
+    let active = Bitvec.create nf in
+    Bitvec.fill_all active;
+    Bitvec.diff_into ~into:active detected;
+    let firsts = Fault_sim.first_detections sim ~active block in
+    let useful = Array.make block_size false in
+    let progress = ref false in
+    Array.iteri
+      (fun fi first ->
+        match first with
+        | Some p when Bitvec.get active fi ->
+            Bitvec.set detected fi;
+            useful.(p) <- true;
+            progress := true
+        | _ -> ())
+      firsts;
+    if !progress then begin
+      useless_blocks := 0;
+      Array.iteri (fun p pat -> if useful.(p) then kept := pat :: !kept) block
+    end
+    else incr useless_blocks
+  done;
+  let newly = Bitvec.diff detected initially_detected in
+  { tests = Array.of_list (List.rev !kept); detected = newly; patterns_tried = !tried }

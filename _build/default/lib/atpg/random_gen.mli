@@ -1,0 +1,28 @@
+(** Random-pattern phase of the ATPG flow.
+
+    Generates blocks of uniformly random patterns, fault-simulates them
+    with dropping, and keeps only the patterns that first-detect at least
+    one fault.  Stops when a run of consecutive blocks yields no new
+    detection (the classic random-resistance knee). *)
+
+open Reseed_fault
+open Reseed_util
+
+type result = {
+  tests : bool array array;  (** useful patterns, in generation order *)
+  detected : Bitvec.t;  (** fault indices covered by [tests] *)
+  patterns_tried : int;
+}
+
+(** [run sim ~rng ?already ?max_patterns ?give_up_after ()] — [already]
+    marks faults to skip (default none); generation stops after
+    [max_patterns] (default 10_000, the paper's random-testability
+    threshold) or [give_up_after] consecutive useless blocks (default 5). *)
+val run :
+  Fault_sim.t ->
+  rng:Rng.t ->
+  ?already:Bitvec.t ->
+  ?max_patterns:int ->
+  ?give_up_after:int ->
+  unit ->
+  result

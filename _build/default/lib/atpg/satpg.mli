@@ -1,0 +1,29 @@
+(** SAT-based deterministic test generation (Larrabee's formulation).
+
+    The good machine and the faulty machine are both encoded in CNF over
+    shared primary-input variables, the fault is injected by constraining
+    the faulty copy, and a miter clause demands that at least one primary
+    output differ.  A satisfying model *is* a test pattern; an UNSAT
+    proof establishes redundancy.
+
+    Serves as the independent cross-check for {!Podem}: both are complete,
+    so they must agree on testability for every fault. *)
+
+open Reseed_netlist
+open Reseed_fault
+open Reseed_util
+
+type outcome =
+  | Test of bool array  (** don't-cares in the model are as-assigned *)
+  | Untestable
+  | Aborted  (** SAT conflict budget exhausted *)
+
+(** [generate c fault ?max_conflicts ()] derives a test or a redundancy
+    proof. *)
+val generate : Circuit.t -> Fault.t -> ?max_conflicts:int -> unit -> outcome
+
+(** [generate_checked c fault ~rng ()] — same, but the returned pattern
+    is re-verified through the fault simulator (raises [Failure] if the
+    SAT layer ever produced a bogus test; used by tests and the paranoid).
+    [rng] is reserved for future don't-care randomisation. *)
+val generate_checked : Circuit.t -> Fault.t -> rng:Rng.t -> unit -> outcome

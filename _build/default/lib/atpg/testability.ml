@@ -1,0 +1,81 @@
+open Reseed_netlist
+
+type t = { cc0 : int array; cc1 : int array; co : int array }
+
+let infinity_cost = 1 lsl 40
+
+let clamp x = if x > infinity_cost then infinity_cost else x
+
+let compute c =
+  let n = Circuit.node_count c in
+  let cc0 = Array.make n 0 and cc1 = Array.make n 0 in
+  let sum_over fanins f =
+    Array.fold_left (fun acc fi -> clamp (acc + f fi)) 0 fanins
+  in
+  let min_over fanins f =
+    Array.fold_left (fun acc fi -> min acc (f fi)) infinity_cost fanins
+  in
+  (* XOR controllability over an n-ary gate: parity-DP over fanins. *)
+  let xor_cc fanins =
+    let even = ref 0 and odd = ref infinity_cost in
+    Array.iter
+      (fun fi ->
+        let e = min (clamp (!even + cc0.(fi))) (clamp (!odd + cc1.(fi))) in
+        let o = min (clamp (!even + cc1.(fi))) (clamp (!odd + cc0.(fi))) in
+        even := e;
+        odd := o)
+      fanins;
+    (!even, !odd)
+  in
+  for i = 0 to n - 1 do
+    let node = c.Circuit.nodes.(i) in
+    let fi = node.Circuit.fanins in
+    let z0, z1 =
+      match node.Circuit.kind with
+      | Gate.Input -> (1, 1)
+      | Gate.Buf -> (cc0.(fi.(0)), cc1.(fi.(0)))
+      | Gate.Not -> (cc1.(fi.(0)), cc0.(fi.(0)))
+      | Gate.And -> (min_over fi (fun f -> cc0.(f)), sum_over fi (fun f -> cc1.(f)))
+      | Gate.Nand -> (sum_over fi (fun f -> cc1.(f)), min_over fi (fun f -> cc0.(f)))
+      | Gate.Or -> (sum_over fi (fun f -> cc0.(f)), min_over fi (fun f -> cc1.(f)))
+      | Gate.Nor -> (min_over fi (fun f -> cc1.(f)), sum_over fi (fun f -> cc0.(f)))
+      | Gate.Xor -> xor_cc fi
+      | Gate.Xnor ->
+          let e, o = xor_cc fi in
+          (o, e)
+      | Gate.Const0 -> (0, infinity_cost)
+      | Gate.Const1 -> (infinity_cost, 0)
+    in
+    cc0.(i) <- clamp (z0 + if node.Circuit.kind = Gate.Input then 0 else 1);
+    cc1.(i) <- clamp (z1 + if node.Circuit.kind = Gate.Input then 0 else 1)
+  done;
+  (* Observability: reverse pass. *)
+  let co = Array.make n infinity_cost in
+  Array.iter (fun o -> co.(o) <- 0) c.Circuit.outputs;
+  for i = n - 1 downto 0 do
+    let node = c.Circuit.nodes.(i) in
+    if co.(i) < infinity_cost then begin
+      let fi = node.Circuit.fanins in
+      let k = Array.length fi in
+      for pin = 0 to k - 1 do
+        let side_cost =
+          match node.Circuit.kind with
+          | Gate.Input | Gate.Const0 | Gate.Const1 -> 0
+          | Gate.Buf | Gate.Not -> 0
+          | Gate.And | Gate.Nand ->
+              (* Other inputs must be 1. *)
+              sum_over fi (fun f -> if f = fi.(pin) then 0 else cc1.(f))
+          | Gate.Or | Gate.Nor ->
+              sum_over fi (fun f -> if f = fi.(pin) then 0 else cc0.(f))
+          | Gate.Xor | Gate.Xnor ->
+              (* Other inputs must be known: take the cheaper value. *)
+              sum_over fi (fun f -> if f = fi.(pin) then 0 else min cc0.(f) cc1.(f))
+        in
+        let through = clamp (co.(i) + side_cost + 1) in
+        if through < co.(fi.(pin)) then co.(fi.(pin)) <- through
+      done
+    end
+  done;
+  { cc0; cc1; co }
+
+let cost_to_set t node value = if value then t.cc1.(node) else t.cc0.(node)

@@ -1,0 +1,18 @@
+(** SCOAP-style testability measures.
+
+    Combinational controllability (CC0/CC1: a cost to set a node to 0/1)
+    and observability (CO: a cost to propagate a node to a primary
+    output).  PODEM uses them to choose branch orders: set the hardest
+    non-controlling side-input first, propagate through the most
+    observable D-frontier gate.  Goldstein's classic definitions. *)
+
+open Reseed_netlist
+
+type t = private { cc0 : int array; cc1 : int array; co : int array }
+
+(** [compute c] evaluates all three measures in two linear passes.
+    Values are clamped to avoid overflow on pathological netlists. *)
+val compute : Circuit.t -> t
+
+(** [cost_to_set t node value] is CC0 or CC1. *)
+val cost_to_set : t -> int -> bool -> int

@@ -1,0 +1,1 @@
+lib/fault/diagnose.ml: Array Bitvec Fault_sim Hashtbl List Option Reseed_util

@@ -1,0 +1,1 @@
+lib/fault/diagnose.mli: Bitvec Fault_sim Reseed_util

@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Array Circuit Gate Printf Reseed_netlist Seq Stdlib

@@ -1,0 +1,1 @@
+lib/fault/fault_sim.ml: Array Bitvec Circuit Fault Gate List Logic_sim Reseed_netlist Reseed_sim Reseed_util Stats

@@ -1,0 +1,1 @@
+lib/fault/fault_sim.mli: Bitvec Circuit Fault Reseed_netlist Reseed_util

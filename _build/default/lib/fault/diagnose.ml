@@ -1,0 +1,55 @@
+open Reseed_util
+
+type t = { n_tests : int; signatures : Bitvec.t array }
+
+let build sim tests =
+  { n_tests = Array.length tests; signatures = Fault_sim.detection_map sim tests }
+
+let test_count t = t.n_tests
+let fault_count t = Array.length t.signatures
+
+let signature t fi = t.signatures.(fi)
+
+type candidate = { faults : int list; distance : int }
+
+let diagnose t ~observed ?(max_candidates = 10) () =
+  if Bitvec.length observed <> t.n_tests then
+    invalid_arg "Diagnose.diagnose: observed signature width mismatch";
+  (* Group faults by signature, then rank classes by Hamming distance. *)
+  let classes = Hashtbl.create 256 in
+  Array.iteri
+    (fun fi s ->
+      if not (Bitvec.is_empty s) then begin
+        let key = Bitvec.to_list s in
+        let previous = Option.value ~default:[] (Hashtbl.find_opt classes key) in
+        Hashtbl.replace classes key (fi :: previous)
+      end)
+    t.signatures;
+  let scored =
+    Hashtbl.fold
+      (fun _key faults acc ->
+        let representative = List.hd faults in
+        let s = t.signatures.(representative) in
+        let distance =
+          Bitvec.count_diff s observed + Bitvec.count_diff observed s
+        in
+        { faults = List.sort compare faults; distance } :: acc)
+      classes []
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = compare a.distance b.distance in
+        if c <> 0 then c else compare a.faults b.faults)
+      scored
+  in
+  List.filteri (fun i _ -> i < max_candidates) sorted
+
+let observe_fault t fi = Bitvec.copy t.signatures.(fi)
+
+let resolution t =
+  let seen = Hashtbl.create 256 in
+  Array.iter
+    (fun s -> if not (Bitvec.is_empty s) then Hashtbl.replace seen (Bitvec.to_list s) ())
+    t.signatures;
+  Hashtbl.length seen

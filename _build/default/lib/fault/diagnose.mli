@@ -1,0 +1,43 @@
+(** Dictionary-based fault diagnosis.
+
+    Once a BIST session reports failing patterns, the classic way to
+    locate the defect is a *fault dictionary*: the precomputed
+    pass/fail signature of every modelled fault under the applied test
+    set.  Diagnosis ranks faults by how well their stored signature
+    matches the observed one.  Equivalent faults share a signature and
+    are reported together as one candidate class. *)
+
+open Reseed_util
+
+type t
+
+(** [build sim tests] fault-simulates the whole fault list against
+    [tests] and stores one pass/fail signature (bit per pattern) per
+    fault. *)
+val build : Fault_sim.t -> bool array array -> t
+
+val test_count : t -> int
+val fault_count : t -> int
+
+(** [signature t fi] is fault [fi]'s stored signature. *)
+val signature : t -> int -> Bitvec.t
+
+type candidate = {
+  faults : int list;  (** fault indices sharing this signature *)
+  distance : int;  (** Hamming distance to the observed signature *)
+}
+
+(** [diagnose t ~observed ?max_candidates ()] ranks candidate classes by
+    ascending signature distance (0 = exact explanation).  Faults whose
+    signature is empty (never detected by the test set) are excluded —
+    they cannot explain any failure.  [observed] must have one bit per
+    test pattern. *)
+val diagnose : t -> observed:Bitvec.t -> ?max_candidates:int -> unit -> candidate list
+
+(** [observe_fault t fi] is the signature the tester would record if
+    fault [fi] were present — for closing the loop in tests and demos. *)
+val observe_fault : t -> int -> Bitvec.t
+
+(** [resolution t] is the number of distinct non-empty signatures — the
+    dictionary's diagnostic resolution. *)
+val resolution : t -> int

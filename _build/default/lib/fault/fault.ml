@@ -1,0 +1,112 @@
+open Reseed_netlist
+
+type site = Out of int | Pin of { gate : int; pin : int }
+
+type t = { site : site; stuck : bool }
+
+let site_node f = match f.site with Out n -> n | Pin { gate; _ } -> gate
+
+let universe c =
+  let acc = ref [] in
+  let n = Circuit.node_count c in
+  for i = n - 1 downto 0 do
+    let node = c.Circuit.nodes.(i) in
+    (* Branch faults, only where the driving stem has fanout > 1. *)
+    (match node.Circuit.kind with
+    | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+    | _ ->
+        for pin = Array.length node.Circuit.fanins - 1 downto 0 do
+          let stem = node.Circuit.fanins.(pin) in
+          if Array.length c.Circuit.fanouts.(stem) > 1 then begin
+            acc := { site = Pin { gate = i; pin }; stuck = true } :: !acc;
+            acc := { site = Pin { gate = i; pin }; stuck = false } :: !acc
+          end
+        done);
+    (match node.Circuit.kind with
+    | Gate.Const0 | Gate.Const1 -> () (* constants are untestable by definition *)
+    | _ ->
+        acc := { site = Out i; stuck = true } :: !acc;
+        acc := { site = Out i; stuck = false } :: !acc)
+  done;
+  Array.of_list !acc
+
+let collapse c faults =
+  let is_po = Array.make (Circuit.node_count c) false in
+  Array.iter (fun o -> is_po.(o) <- true) c.Circuit.outputs;
+  let keep fault =
+    match fault.site with
+    | Out stem when is_po.(stem) -> true (* observable directly: never fold *)
+    | Out stem -> (
+        (* A BUF/NOT output fault is equivalent to a fault on its single
+           input; keep the representative closest to the primary outputs,
+           i.e. drop the *input-side* fault instead (handled below), keep
+           stems. For single-fanout stems feeding BUF/NOT the downstream
+           output fault subsumes this stem fault. *)
+        match c.Circuit.fanouts.(stem) with
+        | [| sink |] -> (
+            match c.Circuit.nodes.(sink).Circuit.kind with
+            | Gate.Buf | Gate.Not -> false (* folded into [Out sink] *)
+            | _ -> true)
+        | _ -> true)
+    | Pin { gate; pin = _ } -> (
+        match c.Circuit.nodes.(gate).Circuit.kind with
+        | Gate.And | Gate.Nand -> fault.stuck (* input s-a-0 ≡ output fault *)
+        | Gate.Or | Gate.Nor -> not fault.stuck (* input s-a-1 ≡ output fault *)
+        | Gate.Buf | Gate.Not -> false (* input fault ≡ output fault *)
+        | _ -> true)
+  in
+  Array.of_seq (Seq.filter keep (Array.to_seq faults))
+
+let all c = collapse c (universe c)
+
+let collapse_dominance c faults =
+  let keep fault =
+    match fault.site with
+    | Pin _ -> true
+    | Out g -> (
+        let node = c.Circuit.nodes.(g) in
+        (* The dominated output sense, if any, for this gate kind. *)
+        let dominated_sense =
+          match node.Circuit.kind with
+          | Gate.And -> Some true (* out s-a-1 dominated by any input s-a-1 *)
+          | Gate.Nand -> Some false
+          | Gate.Or -> Some false
+          | Gate.Nor -> Some true
+          | Gate.Input | Gate.Buf | Gate.Not | Gate.Xor | Gate.Xnor | Gate.Const0
+          | Gate.Const1 ->
+              None
+        in
+        match dominated_sense with
+        | Some s when fault.stuck = s ->
+            (* Valid only when some dominating input fault is actually in
+               the collapsed list: any non-constant fanin provides one
+               (a branch fault when the stem fans out, the stem's own
+               output fault otherwise). *)
+            let has_dominator =
+              Array.exists
+                (fun stem ->
+                  match c.Circuit.nodes.(stem).Circuit.kind with
+                  | Gate.Const0 | Gate.Const1 -> false
+                  | _ -> true)
+                node.Circuit.fanins
+            in
+            not has_dominator
+        | _ -> true)
+  in
+  Array.of_seq (Seq.filter keep (Array.to_seq faults))
+
+let all_collapsed c = collapse_dominance c (all c)
+
+let equal a b = a = b
+
+let compare = Stdlib.compare
+
+let to_string c f =
+  let sa = if f.stuck then "SA1" else "SA0" in
+  match f.site with
+  | Out n -> Printf.sprintf "%s/%s" c.Circuit.nodes.(n).Circuit.label sa
+  | Pin { gate; pin } ->
+      let stem = c.Circuit.nodes.(gate).Circuit.fanins.(pin) in
+      Printf.sprintf "%s->%s.%d/%s"
+        c.Circuit.nodes.(stem).Circuit.label
+        c.Circuit.nodes.(gate).Circuit.label pin sa

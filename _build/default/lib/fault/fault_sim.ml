@@ -1,0 +1,207 @@
+open Reseed_netlist
+open Reseed_sim
+open Reseed_util
+
+type t = {
+  circuit : Circuit.t;
+  faults : Fault.t array;
+  po_position : int array; (* node -> PO index, or -1 *)
+  (* Scratch reused across fault injections; [stamp]/[in_heap] hold the id
+     of the fault that last wrote them, so no clearing is ever needed. *)
+  stamp : int array;
+  fval : int array;
+  heap : int array;
+  mutable heap_len : int;
+  in_heap : int array;
+  mutable cur : int;
+  mutable sims : int;
+}
+
+let create circuit faults =
+  let n = Circuit.node_count circuit in
+  let po_position = Array.make n (-1) in
+  Array.iteri (fun pos node -> po_position.(node) <- pos) circuit.Circuit.outputs;
+  {
+    circuit;
+    faults;
+    po_position;
+    stamp = Array.make n (-1);
+    fval = Array.make n 0;
+    heap = Array.make (max 16 n) 0;
+    heap_len = 0;
+    in_heap = Array.make n (-1);
+    cur = -1;
+    sims = 0;
+  }
+
+let circuit t = t.circuit
+let faults t = t.faults
+let fault_count t = Array.length t.faults
+let sims_performed t = t.sims
+
+(* Min-heap over node indices: pops nodes in topological order so every
+   fanin is final before a node is evaluated. *)
+let heap_push t i =
+  if t.in_heap.(i) <> t.cur then begin
+    t.in_heap.(i) <- t.cur;
+    let pos = ref t.heap_len in
+    t.heap_len <- t.heap_len + 1;
+    t.heap.(!pos) <- i;
+    let continue = ref true in
+    while !continue && !pos > 0 do
+      let parent = (!pos - 1) / 2 in
+      if t.heap.(parent) > t.heap.(!pos) then begin
+        let tmp = t.heap.(parent) in
+        t.heap.(parent) <- t.heap.(!pos);
+        t.heap.(!pos) <- tmp;
+        pos := parent
+      end
+      else continue := false
+    done
+  end
+
+let heap_pop t =
+  let top = t.heap.(0) in
+  t.heap_len <- t.heap_len - 1;
+  t.heap.(0) <- t.heap.(t.heap_len);
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !pos) + 1 and r = (2 * !pos) + 2 in
+    let smallest = ref !pos in
+    if l < t.heap_len && t.heap.(l) < t.heap.(!smallest) then smallest := l;
+    if r < t.heap_len && t.heap.(r) < t.heap.(!smallest) then smallest := r;
+    if !smallest <> !pos then begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!pos);
+      t.heap.(!pos) <- tmp;
+      pos := !smallest
+    end
+    else continue := false
+  done;
+  top
+
+let full = max_int
+
+(* Value of node [f] as seen by the faulty machine of the current fault. *)
+let value t (good : int array) f =
+  if t.stamp.(f) = t.cur then t.fval.(f) else good.(f)
+
+(* Re-evaluate node [i] in the faulty machine.  For a [Pin] fault at this
+   node, [force_pin >= 0] pins that fanin to [force_word]. *)
+let eval_faulty t good i ~force_pin ~force_word =
+  let node = t.circuit.Circuit.nodes.(i) in
+  let fanins = node.Circuit.fanins in
+  let arg j = if j = force_pin then force_word else value t good fanins.(j) in
+  let fold op seed =
+    let acc = ref seed in
+    for j = 0 to Array.length fanins - 1 do
+      acc := op !acc (arg j)
+    done;
+    !acc
+  in
+  match node.Circuit.kind with
+  | Gate.Input -> value t good i
+  | Gate.Buf -> arg 0
+  | Gate.Not -> lnot (arg 0) land full
+  | Gate.And -> fold ( land ) full
+  | Gate.Nand -> lnot (fold ( land ) full) land full
+  | Gate.Or -> fold ( lor ) 0
+  | Gate.Nor -> lnot (fold ( lor ) 0) land full
+  | Gate.Xor -> fold ( lxor ) 0
+  | Gate.Xnor -> lnot (fold ( lxor ) 0) land full
+  | Gate.Const0 -> 0
+  | Gate.Const1 -> full
+
+(* Inject one fault against the good-machine block values and return the
+   word of patterns that detect it at some primary output. *)
+let process t (good : int array) mask (fault : Fault.t) =
+  t.cur <- t.cur + 1;
+  t.sims <- t.sims + 1;
+  let stuck_word = if fault.Fault.stuck then full else 0 in
+  let site, site_value =
+    match fault.Fault.site with
+    | Fault.Out g -> (g, stuck_word)
+    | Fault.Pin { gate; pin } ->
+        (gate, eval_faulty t good gate ~force_pin:pin ~force_word:stuck_word)
+  in
+  let diff0 = (site_value lxor good.(site)) land mask in
+  if diff0 = 0 then 0
+  else begin
+    t.stamp.(site) <- t.cur;
+    t.fval.(site) <- site_value;
+    let detect = ref (if t.po_position.(site) >= 0 then diff0 else 0) in
+    t.heap_len <- 0;
+    Array.iter (fun s -> heap_push t s) t.circuit.Circuit.fanouts.(site);
+    while t.heap_len > 0 do
+      let i = heap_pop t in
+      let v = eval_faulty t good i ~force_pin:(-1) ~force_word:0 in
+      let diff = (v lxor good.(i)) land mask in
+      if diff <> 0 then begin
+        t.stamp.(i) <- t.cur;
+        t.fval.(i) <- v;
+        if t.po_position.(i) >= 0 then detect := !detect lor diff;
+        Array.iter (fun s -> heap_push t s) t.circuit.Circuit.fanouts.(i)
+      end
+    done;
+    !detect
+  end
+
+let iter_blocks t patterns f =
+  let blocks = Logic_sim.pack_all t.circuit patterns in
+  let base = ref 0 in
+  List.iter
+    (fun (block : Logic_sim.block) ->
+      let good = Logic_sim.simulate t.circuit block in
+      let mask = Logic_sim.valid_mask block.Logic_sim.width in
+      f ~base:!base ~good ~mask;
+      base := !base + block.Logic_sim.width)
+    blocks
+
+let detection_map t patterns =
+  let total = Array.length patterns in
+  let result = Array.init (fault_count t) (fun _ -> Bitvec.create total) in
+  iter_blocks t patterns (fun ~base ~good ~mask ->
+      Array.iteri
+        (fun fi fault ->
+          let d = process t good mask fault in
+          if d <> 0 then
+            for k = 0 to Logic_sim.block_width - 1 do
+              if d lsr k land 1 = 1 then Bitvec.set result.(fi) (base + k)
+            done)
+        t.faults);
+  result
+
+let detected_set t patterns ~active =
+  if Bitvec.length active <> fault_count t then
+    invalid_arg "Fault_sim.detected_set: active mask size mismatch";
+  let detected = Bitvec.create (fault_count t) in
+  iter_blocks t patterns (fun ~base:_ ~good ~mask ->
+      Array.iteri
+        (fun fi fault ->
+          if Bitvec.get active fi && not (Bitvec.get detected fi) then
+            if process t good mask fault <> 0 then Bitvec.set detected fi)
+        t.faults);
+  detected
+
+let first_detections t ?active patterns =
+  let result = Array.make (fault_count t) None in
+  let live fi = match active with None -> true | Some a -> Bitvec.get a fi in
+  iter_blocks t patterns (fun ~base ~good ~mask ->
+      Array.iteri
+        (fun fi fault ->
+          if live fi && result.(fi) = None then begin
+            let d = process t good mask fault in
+            if d <> 0 then begin
+              let k = ref 0 in
+              while d lsr !k land 1 = 0 do incr k done;
+              result.(fi) <- Some (base + !k)
+            end
+          end)
+        t.faults);
+  result
+
+let count_new_detections t patterns ~active =
+  Bitvec.count (detected_set t patterns ~active)
+
+let coverage_pct t detected = Stats.pct (Bitvec.count detected) (fault_count t)

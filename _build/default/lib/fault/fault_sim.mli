@@ -1,0 +1,54 @@
+(** Parallel-pattern, single-fault-propagation stuck-at fault simulation.
+
+    Patterns are simulated 62 per block against the good machine once; each
+    fault is then injected and only its fanout cone is re-evaluated
+    (event-driven, in topological order).  Three entry points cover the
+    library's needs:
+
+    - {!detection_map}: full per-pattern detection bit-matrix — feeds the
+      Detection Matrix construction of Section 3.1 of the paper;
+    - {!first_detections}: fault-dropping sweep returning the first
+      detecting pattern index per fault — feeds ATPG, compaction and the
+      GATSBY fitness function;
+    - {!count_new_detections}: cheap count of newly-detected faults for a
+      candidate pattern set against an active mask. *)
+
+open Reseed_netlist
+open Reseed_util
+
+type t
+
+(** [create c faults] builds a reusable simulator.  The fault order fixes
+    the fault indexing used by every result. *)
+val create : Circuit.t -> Fault.t array -> t
+
+val circuit : t -> Circuit.t
+val faults : t -> Fault.t array
+val fault_count : t -> int
+
+(** [sims_performed t] counts fault-injection cone simulations executed so
+    far — the paper's "number of fault simulations" cost metric. *)
+val sims_performed : t -> int
+
+(** [detection_map t patterns] is one {!Bitvec.t} per fault, indexed over
+    patterns: bit [p] set iff pattern [p] detects the fault.  No
+    dropping. *)
+val detection_map : t -> bool array array -> Bitvec.t array
+
+(** [detected_set t patterns ~active] is the set of faults from [active]
+    detected by at least one pattern (with dropping inside the run). *)
+val detected_set : t -> bool array array -> active:Bitvec.t -> Bitvec.t
+
+(** [first_detections t ?active patterns] runs with fault dropping; result
+    [i] is [Some p] when fault [i] is first detected by pattern [p].
+    Faults outside [active] (default: all) are skipped entirely. *)
+val first_detections : t -> ?active:Bitvec.t -> bool array array -> int option array
+
+(** [count_new_detections t patterns ~active] is
+    [Bitvec.count (detected_set t patterns ~active)] without allocating
+    the result set. *)
+val count_new_detections : t -> bool array array -> active:Bitvec.t -> int
+
+(** [coverage_pct t detected] renders fault coverage as a percentage of
+    the simulator's fault list. *)
+val coverage_pct : t -> Bitvec.t -> float

@@ -1,0 +1,1 @@
+lib/gatsby/ga.ml: Array Float Reseed_util Rng

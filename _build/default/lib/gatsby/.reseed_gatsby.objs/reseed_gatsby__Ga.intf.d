@@ -1,0 +1,1 @@
+lib/gatsby/ga.mli: Reseed_util Rng

@@ -1,0 +1,1 @@
+lib/gatsby/gatsby.ml: Array Bitvec Fault_sim Ga List Reseed_fault Reseed_tpg Reseed_util Rng Tpg Triplet Word

@@ -1,0 +1,1 @@
+lib/gatsby/gatsby.mli: Bitvec Fault_sim Ga Reseed_fault Reseed_tpg Reseed_util Rng Tpg Triplet

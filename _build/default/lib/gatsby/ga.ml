@@ -1,0 +1,79 @@
+open Reseed_util
+
+type 'a problem = {
+  init : Rng.t -> 'a;
+  fitness : 'a -> float;
+  crossover : Rng.t -> 'a -> 'a -> 'a;
+  mutate : Rng.t -> 'a -> 'a;
+}
+
+type config = {
+  population : int;
+  generations : int;
+  elite : int;
+  tournament : int;
+  crossover_rate : float;
+  mutation_rate : float;
+}
+
+let default_config =
+  {
+    population = 24;
+    generations = 16;
+    elite = 2;
+    tournament = 3;
+    crossover_rate = 0.9;
+    mutation_rate = 0.5;
+  }
+
+type 'a outcome = { best : 'a; best_fitness : float; evaluations : int }
+
+let optimize ?(config = default_config) ~rng problem =
+  if config.population < 2 then invalid_arg "Ga.optimize: population must be >= 2";
+  if config.elite >= config.population then invalid_arg "Ga.optimize: elite too large";
+  let evaluations = ref 0 in
+  let eval g =
+    incr evaluations;
+    problem.fitness g
+  in
+  (* Population kept sorted by descending fitness. *)
+  let scored = Array.init config.population (fun _ ->
+      let g = problem.init rng in
+      (g, eval g))
+  in
+  let sort () =
+    Array.sort (fun (_, a) (_, b) -> Float.compare b a) scored
+  in
+  sort ();
+  let best = ref (fst scored.(0)) and best_fitness = ref (snd scored.(0)) in
+  let tournament_pick () =
+    let best_i = ref (Rng.int rng config.population) in
+    for _ = 2 to config.tournament do
+      let i = Rng.int rng config.population in
+      if snd scored.(i) > snd scored.(!best_i) then best_i := i
+    done;
+    fst scored.(!best_i)
+  in
+  for _gen = 1 to config.generations do
+    let next = Array.make config.population scored.(0) in
+    for i = 0 to config.elite - 1 do
+      next.(i) <- scored.(i)
+    done;
+    for i = config.elite to config.population - 1 do
+      let a = tournament_pick () in
+      let child =
+        if Rng.float rng < config.crossover_rate then
+          problem.crossover rng a (tournament_pick ())
+        else a
+      in
+      let child = if Rng.float rng < config.mutation_rate then problem.mutate rng child else child in
+      next.(i) <- (child, eval child)
+    done;
+    Array.blit next 0 scored 0 config.population;
+    sort ();
+    if snd scored.(0) > !best_fitness then begin
+      best := fst scored.(0);
+      best_fitness := snd scored.(0)
+    end
+  done;
+  { best = !best; best_fitness = !best_fitness; evaluations = !evaluations }

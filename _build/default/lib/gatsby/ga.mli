@@ -1,0 +1,36 @@
+(** Generic steady-state genetic algorithm.
+
+    Tournament selection, elitism, uniform crossover and mutation over an
+    abstract genome.  Deterministic given the RNG.  Used by the GATSBY
+    reseeding baseline; kept generic so tests can exercise it on known
+    closed-form landscapes. *)
+
+open Reseed_util
+
+type 'a problem = {
+  init : Rng.t -> 'a;  (** fresh random genome *)
+  fitness : 'a -> float;  (** higher is better; may be expensive *)
+  crossover : Rng.t -> 'a -> 'a -> 'a;
+  mutate : Rng.t -> 'a -> 'a;
+}
+
+type config = {
+  population : int;
+  generations : int;
+  elite : int;  (** genomes copied unchanged each generation *)
+  tournament : int;  (** tournament size for parent selection *)
+  crossover_rate : float;
+  mutation_rate : float;  (** probability a child is mutated *)
+}
+
+val default_config : config
+
+type 'a outcome = {
+  best : 'a;
+  best_fitness : float;
+  evaluations : int;  (** number of fitness calls performed *)
+}
+
+(** [optimize ?config ~rng problem] runs the GA and returns the best
+    genome ever seen. *)
+val optimize : ?config:config -> rng:Rng.t -> 'a problem -> 'a outcome

@@ -1,0 +1,124 @@
+open Reseed_fault
+open Reseed_tpg
+open Reseed_util
+
+type config = {
+  cycles : int;
+  ga : Ga.config;
+  max_rounds : int;
+  stall_retries : int;
+  target_coverage : float;
+}
+
+(* The GA budget (population × generations ≈ 72 burst fault-simulations
+   per committed reseeding) is calibrated to the published GATSBY
+   experiments' era: every fitness evaluation is a full burst fault
+   simulation, which is precisely why the paper calls the approach
+   simulation-bound.  bench/main.exe ablation sweeps this budget. *)
+let default_config =
+  {
+    cycles = 150;
+    ga = { Ga.default_config with Ga.population = 12; generations = 6 };
+    max_rounds = 200;
+    stall_retries = 2;
+    target_coverage = 100.0;
+  }
+
+type result = {
+  triplets : Triplet.t list;
+  detected : Bitvec.t;
+  test_length : int;
+  fault_sims : int;
+  ga_evaluations : int;
+}
+
+type genome = { g_seed : Word.t; g_operand : Word.t }
+
+let genome_problem ~width ~fitness =
+  let mix rng a b =
+    (* Uniform crossover: each bit drawn from either parent. *)
+    let mask = Word.random rng width in
+    Word.logor (Word.logand a mask) (Word.logand b (Word.lognot mask))
+  in
+  let flip_bits rng w =
+    let n = 1 + Rng.int rng 2 in
+    let rec go w k =
+      if k = 0 then w
+      else
+        let pos = Rng.int rng width in
+        go (Word.set_bit w pos (not (Word.get_bit w pos))) (k - 1)
+    in
+    go w n
+  in
+  {
+    Ga.init = (fun rng -> { g_seed = Word.random rng width; g_operand = Word.random rng width });
+    fitness;
+    crossover =
+      (fun rng a b ->
+        { g_seed = mix rng a.g_seed b.g_seed; g_operand = mix rng a.g_operand b.g_operand });
+    mutate =
+      (fun rng g ->
+        if Rng.bool rng then { g with g_seed = flip_bits rng g.g_seed }
+        else { g with g_operand = flip_bits rng g.g_operand });
+  }
+
+let run ?(config = default_config) sim tpg ~rng ~targets =
+  let nf = Fault_sim.fault_count sim in
+  if Bitvec.length targets <> nf then invalid_arg "Gatsby.run: target mask size";
+  let width = tpg.Tpg.width in
+  let active = Bitvec.copy targets in
+  let detected = Bitvec.create nf in
+  let total_targets = max 1 (Bitvec.count targets) in
+  let sims_at_start = Fault_sim.sims_performed sim in
+  let triplets = ref [] and test_length = ref 0 and ga_evals = ref 0 in
+  let burst g =
+    Tpg.run_bits tpg ~seed:g.g_seed
+      ~operand:(tpg.Tpg.fix_operand g.g_operand)
+      ~cycles:config.cycles
+  in
+  let coverage () = 100.0 *. float_of_int (Bitvec.count detected) /. float_of_int total_targets in
+  let rounds = ref 0 and stalls = ref 0 and go = ref true in
+  while !go && !rounds < config.max_rounds && coverage () < config.target_coverage do
+    incr rounds;
+    let fitness g =
+      float_of_int (Fault_sim.count_new_detections sim (burst g) ~active)
+    in
+    let problem = genome_problem ~width ~fitness in
+    let outcome = Ga.optimize ~config:config.ga ~rng problem in
+    ga_evals := !ga_evals + outcome.Ga.evaluations;
+    if outcome.Ga.best_fitness < 0.5 then begin
+      incr stalls;
+      if !stalls > config.stall_retries then go := false
+    end
+    else begin
+      stalls := 0;
+      let g = outcome.Ga.best in
+      let patterns = burst g in
+      let firsts = Fault_sim.first_detections sim ~active patterns in
+      let last_useful = ref (-1) in
+      Array.iteri
+        (fun fi first ->
+          match first with
+          | Some p when Bitvec.get active fi ->
+              Bitvec.set detected fi;
+              Bitvec.clear active fi;
+              if p > !last_useful then last_useful := p
+          | _ -> ())
+        firsts;
+      (* The GA claimed a positive gain, so some pattern was useful. *)
+      assert (!last_useful >= 0);
+      let eff = !last_useful + 1 in
+      let triplet =
+        Triplet.make ~seed:g.g_seed ~operand:(tpg.Tpg.fix_operand g.g_operand) ~cycles:eff
+      in
+      triplets := triplet :: !triplets;
+      test_length := !test_length + eff
+    end
+  done;
+  {
+    triplets = List.rev !triplets;
+    detected;
+    test_length = !test_length;
+    fault_sims = Fault_sim.sims_performed sim - sims_at_start;
+    ga_evaluations = !ga_evals;
+  }

@@ -1,0 +1,40 @@
+(** GATSBY-style genetic reseeding baseline ([7][8] in the paper).
+
+    GATSBY computes reseedings one at a time: a GA searches for the
+    triplet [(δ, σ)] (evolution length fixed) that maximises the number
+    of still-undetected faults caught by its burst; the winner is
+    committed, its detections are dropped, and the search repeats until
+    the target coverage is reached or the GA stalls.  Because every
+    fitness evaluation is a fault simulation of a whole burst, the method
+    is simulation-bound — the cost the paper's set covering approach
+    eliminates.  No global minimisation is attempted, which is why it
+    needs more triplets than the covering formulation. *)
+
+open Reseed_fault
+open Reseed_tpg
+open Reseed_util
+
+type config = {
+  cycles : int;  (** evolution length T per triplet *)
+  ga : Ga.config;
+  max_rounds : int;  (** hard cap on reseedings *)
+  stall_retries : int;  (** fresh GA restarts tolerated without progress *)
+  target_coverage : float;  (** stop at this % of the target faults *)
+}
+
+val default_config : config
+
+type result = {
+  triplets : Triplet.t list;  (** committed reseedings, in order *)
+  detected : Bitvec.t;  (** faults covered over the target list *)
+  test_length : int;  (** Σ effective (truncated) burst lengths *)
+  fault_sims : int;  (** total injections — the paper's cost metric *)
+  ga_evaluations : int;
+}
+
+(** [run ?config sim tpg ~rng ~targets] hunts triplets until [targets] is
+    covered (or the configuration gives up).  [targets] restricts the
+    fault universe, mirroring the paper's "faults not covered by the
+    other triplets" accounting. *)
+val run :
+  ?config:config -> Fault_sim.t -> Tpg.t -> rng:Rng.t -> targets:Bitvec.t -> result

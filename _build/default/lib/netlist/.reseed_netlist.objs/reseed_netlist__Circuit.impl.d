@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Gate Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Char Circuit Float Gate Hashtbl List Printf Reseed_util Rng String

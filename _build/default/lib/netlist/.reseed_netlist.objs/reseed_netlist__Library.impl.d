@@ -1,0 +1,1 @@
+lib/netlist/library.ml: Array Bench_io Circuit Gate Generator List Printf

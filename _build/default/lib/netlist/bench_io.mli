@@ -1,0 +1,43 @@
+(** Reader and writer for the ISCAS [.bench] netlist format.
+
+    The format used by the ISCAS'85/'89 benchmark distributions:
+
+    {v
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G11 = DFF(G10)        # rejected: circuits must be combinational
+    v}
+
+    Definitions may appear in any order; the reader topologically sorts
+    them.  [DFF]s are rejected — the paper (and this library) work on the
+    combinational cores of full-scan circuits, where every flip-flop has
+    already been turned into a PI/PO pair (see {!Generator}). *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [parse ~name text] builds a circuit from [.bench] source.
+    @raise Parse_error on malformed input, combinational loops, undefined
+    signals, or sequential elements. *)
+val parse : name:string -> string -> Circuit.t
+
+(** [parse_full_scan ~name text] accepts sequential [.bench] sources and
+    performs the full-scan transformation the paper applies to the
+    ISCAS'89 circuits: every [q = DFF(d)] becomes a pseudo primary input
+    [q] (the scanned-in state) plus a pseudo primary output on [d] (the
+    scanned-out next state).  The result is the combinational core.
+    Returns the core and the number of converted flip-flops. *)
+val parse_full_scan : name:string -> string -> Circuit.t * int
+
+(** [parse_file path] reads and parses [path]; the circuit is named after
+    the file's basename without extension. *)
+val parse_file : string -> Circuit.t
+
+(** [to_string c] renders a circuit back to [.bench] text.  Output nets
+    that are also inputs or need aliasing are emitted through [BUF]s, so
+    [parse (to_string c)] is structurally equivalent to [c]. *)
+val to_string : Circuit.t -> string
+
+(** [write_file path c] writes [to_string c] to [path]. *)
+val write_file : string -> Circuit.t -> unit

@@ -1,0 +1,196 @@
+type node = { kind : Gate.kind; fanins : int array; label : string }
+
+type t = {
+  name : string;
+  nodes : node array;
+  inputs : int array;
+  outputs : int array;
+  fanouts : int array array;
+  level : int array;
+}
+
+let name c = c.name
+let node_count c = Array.length c.nodes
+let input_count c = Array.length c.inputs
+let output_count c = Array.length c.outputs
+
+let gate_count c =
+  Array.fold_left
+    (fun acc n ->
+      match n.kind with
+      | Gate.Input | Gate.Const0 | Gate.Const1 -> acc
+      | _ -> acc + 1)
+    0 c.nodes
+
+let max_level c = Array.fold_left max 0 c.level
+
+let find c label =
+  let n = Array.length c.nodes in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if c.nodes.(i).label = label then i
+    else go (i + 1)
+  in
+  go 0
+
+let fanin_cone c roots =
+  let seen = Array.make (node_count c) false in
+  let rec visit i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      Array.iter visit c.nodes.(i).fanins
+    end
+  in
+  Array.iter visit roots;
+  let buf = ref [] in
+  for i = node_count c - 1 downto 0 do
+    if seen.(i) then buf := i :: !buf
+  done;
+  Array.of_list !buf
+
+let fanout_cone c root =
+  let seen = Array.make (node_count c) false in
+  seen.(root) <- true;
+  (* Nodes are topologically ordered, so one forward sweep suffices. *)
+  let buf = ref [ root ] in
+  for i = root + 1 to node_count c - 1 do
+    if Array.exists (fun f -> seen.(f)) c.nodes.(i).fanins then begin
+      seen.(i) <- true;
+      buf := i :: !buf
+    end
+  done;
+  Array.of_list (List.rev !buf)
+
+let output_mask_of_cone c cone =
+  let in_cone = Array.make (node_count c) false in
+  Array.iter (fun i -> in_cone.(i) <- true) cone;
+  let acc = ref [] in
+  Array.iteri (fun pos out -> if in_cone.(out) then acc := pos :: !acc) c.outputs;
+  List.rev !acc
+
+let validate c =
+  let n = Array.length c.nodes in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let names = Hashtbl.create n in
+  Array.iteri
+    (fun i node ->
+      if Hashtbl.mem names node.label then
+        fail "circuit %s: duplicate label %s" c.name node.label;
+      Hashtbl.add names node.label ();
+      if not (Gate.arity_ok node.kind (Array.length node.fanins)) then
+        fail "circuit %s: gate %s has bad arity %d" c.name node.label
+          (Array.length node.fanins);
+      Array.iter
+        (fun f ->
+          if f < 0 || f >= i then
+            fail "circuit %s: gate %s breaks topological order" c.name node.label)
+        node.fanins)
+    c.nodes;
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then fail "circuit %s: input index out of range" c.name;
+      if c.nodes.(i).kind <> Gate.Input then
+        fail "circuit %s: input list points at a non-input" c.name)
+    c.inputs;
+  let input_marks = Array.make n false in
+  Array.iter (fun i -> input_marks.(i) <- true) c.inputs;
+  Array.iteri
+    (fun i node ->
+      if node.kind = Gate.Input && not input_marks.(i) then
+        fail "circuit %s: input node %s missing from input list" c.name node.label)
+    c.nodes;
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then fail "circuit %s: output index out of range" c.name)
+    c.outputs;
+  if Array.length c.level <> n then fail "circuit %s: level array size" c.name;
+  Array.iteri
+    (fun i node ->
+      let expect =
+        Array.fold_left (fun acc f -> max acc (c.level.(f) + 1)) 0 node.fanins
+      in
+      let expect = if Array.length node.fanins = 0 then 0 else expect in
+      if c.level.(i) <> expect then
+        fail "circuit %s: level mismatch at %s" c.name node.label)
+    c.nodes
+
+let stats_line c =
+  Printf.sprintf "%s: %d PIs, %d POs, %d gates, depth %d" c.name (input_count c)
+    (output_count c) (gate_count c) (max_level c)
+
+module Builder = struct
+  type building = {
+    bname : string;
+    mutable bnodes : node list; (* reversed *)
+    mutable bcount : int;
+    mutable binputs : int list; (* reversed *)
+    mutable boutputs : int list; (* reversed *)
+    blabels : (string, unit) Hashtbl.t;
+  }
+
+  type t = building
+
+  let create bname =
+    { bname; bnodes = []; bcount = 0; binputs = []; boutputs = []; blabels = Hashtbl.create 64 }
+
+  let push b node =
+    if Hashtbl.mem b.blabels node.label then
+      failwith (Printf.sprintf "Builder(%s): duplicate label %s" b.bname node.label);
+    Hashtbl.add b.blabels node.label ();
+    b.bnodes <- node :: b.bnodes;
+    let h = b.bcount in
+    b.bcount <- h + 1;
+    h
+
+  let add_input b label =
+    let h = push b { kind = Gate.Input; fanins = [||]; label } in
+    b.binputs <- h :: b.binputs;
+    h
+
+  let add_gate b kind fanins label =
+    if not (Gate.arity_ok kind (List.length fanins)) then
+      failwith
+        (Printf.sprintf "Builder(%s): gate %s/%s has bad arity %d" b.bname label
+           (Gate.kind_to_string kind) (List.length fanins));
+    List.iter
+      (fun f ->
+        if f < 0 || f >= b.bcount then
+          failwith
+            (Printf.sprintf "Builder(%s): gate %s references unknown fanin" b.bname label))
+      fanins;
+    push b { kind; fanins = Array.of_list fanins; label }
+
+  let mark_output b h =
+    if h < 0 || h >= b.bcount then
+      failwith (Printf.sprintf "Builder(%s): output handle out of range" b.bname);
+    if List.mem h b.boutputs then
+      failwith (Printf.sprintf "Builder(%s): output marked twice" b.bname);
+    b.boutputs <- h :: b.boutputs
+
+  let finalize b =
+    if b.binputs = [] then failwith (Printf.sprintf "Builder(%s): no inputs" b.bname);
+    if b.boutputs = [] then failwith (Printf.sprintf "Builder(%s): no outputs" b.bname);
+    let nodes = Array.of_list (List.rev b.bnodes) in
+    let level = Array.make (Array.length nodes) 0 in
+    Array.iteri
+      (fun i node ->
+        level.(i) <-
+          Array.fold_left (fun acc f -> max acc (level.(f) + 1)) 0 node.fanins)
+      nodes;
+    let fanouts = Array.make (Array.length nodes) [] in
+    Array.iteri
+      (fun i node -> Array.iter (fun f -> fanouts.(f) <- i :: fanouts.(f)) node.fanins)
+      nodes;
+    let c =
+      {
+        name = b.bname;
+        nodes;
+        inputs = Array.of_list (List.rev b.binputs);
+        outputs = Array.of_list (List.rev b.boutputs);
+        fanouts = Array.map (fun l -> Array.of_list (List.rev l)) fanouts;
+        level;
+      }
+    in
+    validate c;
+    c
+end

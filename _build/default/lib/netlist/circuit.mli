@@ -1,0 +1,81 @@
+(** Combinational gate-level circuits.
+
+    A circuit is a DAG of {!Gate.kind} nodes stored in a flat array and
+    guaranteed (by {!Builder.finalize}) to be listed in topological order:
+    every gate's fanins have smaller indices.  This invariant lets the
+    simulators run as simple forward loops. *)
+
+type node = private {
+  kind : Gate.kind;
+  fanins : int array;  (** gate indices, each [< ] this gate's index *)
+  label : string;  (** source-level net name, unique within the circuit *)
+}
+
+type t = private {
+  name : string;
+  nodes : node array;  (** in topological order *)
+  inputs : int array;  (** indices of the [Input] nodes, in PI order *)
+  outputs : int array;  (** indices of the nodes driving primary outputs *)
+  fanouts : int array array;  (** reverse edges, derived *)
+  level : int array;  (** logic depth per node; inputs are level 0 *)
+}
+
+val name : t -> string
+val node_count : t -> int
+val input_count : t -> int
+val output_count : t -> int
+
+(** [gate_count c] counts logic gates only (excludes [Input] and constant
+    pseudo-nodes) — the number the ISCAS literature reports. *)
+val gate_count : t -> int
+
+(** [max_level c] is the circuit depth. *)
+val max_level : t -> int
+
+(** [find c label] is the index of the node named [label].
+    Raises [Not_found]. *)
+val find : t -> string -> int
+
+(** [fanin_cone c roots] is the set of node indices reaching any of
+    [roots] (inclusive), as a sorted array. *)
+val fanin_cone : t -> int array -> int array
+
+(** [fanout_cone c root] is the set of node indices reachable from [root]
+    (inclusive), in topological order. *)
+val fanout_cone : t -> int -> int array
+
+(** [output_mask_of_cone c cone] lists the positions (in [outputs] order)
+    of primary outputs inside [cone]. *)
+val output_mask_of_cone : t -> int array -> int list
+
+(** [validate c] re-checks every structural invariant; raises [Failure]
+    with a diagnostic on violation.  Used by tests and after parsing. *)
+val validate : t -> unit
+
+(** [stats_line c] is a one-line human summary. *)
+val stats_line : t -> string
+
+(** Incremental construction.  Nodes may be added in any order;
+    [finalize] topologically sorts, checks arities, acyclicity, name
+    uniqueness and dangling references. *)
+module Builder : sig
+  type circuit := t
+  type t
+
+  val create : string -> t
+
+  (** [add_input b label] declares a primary input, returns its handle. *)
+  val add_input : t -> string -> int
+
+  (** [add_gate b kind fanins label] adds a logic gate over previously
+      returned handles; returns the new gate's handle. *)
+  val add_gate : t -> Gate.kind -> int list -> string -> int
+
+  (** [mark_output b handle] declares that [handle] drives a primary
+      output.  The same handle may be marked only once. *)
+  val mark_output : t -> int -> unit
+
+  (** [finalize b] checks all invariants and produces the circuit.
+      Raises [Failure] with a diagnostic on any violation. *)
+  val finalize : t -> circuit
+end

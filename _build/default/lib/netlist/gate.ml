@@ -1,0 +1,94 @@
+type kind =
+  | Input
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Const0
+  | Const1
+
+let kind_to_string = function
+  | Input -> "INPUT"
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Const0 -> "CONST0"
+  | Const1 -> "CONST1"
+
+let kind_of_string s =
+  match String.uppercase_ascii s with
+  | "INPUT" -> Input
+  | "BUF" | "BUFF" -> Buf
+  | "NOT" | "INV" -> Not
+  | "AND" -> And
+  | "NAND" -> Nand
+  | "OR" -> Or
+  | "NOR" -> Nor
+  | "XOR" -> Xor
+  | "XNOR" -> Xnor
+  | "CONST0" -> Const0
+  | "CONST1" -> Const1
+  | other -> invalid_arg ("Gate.kind_of_string: unknown gate " ^ other)
+
+let arity_ok kind n =
+  match kind with
+  | Input | Const0 | Const1 -> n = 0
+  | Buf | Not -> n = 1
+  | And | Nand | Or | Nor | Xor | Xnor -> n >= 2
+
+let eval kind inputs =
+  let fold_and () = Array.for_all Fun.id inputs in
+  let fold_or () = Array.exists Fun.id inputs in
+  let fold_xor () = Array.fold_left (fun acc b -> acc <> b) false inputs in
+  match kind with
+  | Input -> invalid_arg "Gate.eval: Input has no logic function"
+  | Buf -> inputs.(0)
+  | Not -> not inputs.(0)
+  | And -> fold_and ()
+  | Nand -> not (fold_and ())
+  | Or -> fold_or ()
+  | Nor -> not (fold_or ())
+  | Xor -> fold_xor ()
+  | Xnor -> not (fold_xor ())
+  | Const0 -> false
+  | Const1 -> true
+
+(* Full 62-bit payload mask; the sign bit of the native int is never used. *)
+let word_mask = max_int
+
+let eval_word kind inputs =
+  let fold_and () = Array.fold_left ( land ) word_mask inputs in
+  let fold_or () = Array.fold_left ( lor ) 0 inputs in
+  let fold_xor () = Array.fold_left ( lxor ) 0 inputs in
+  match kind with
+  | Input -> invalid_arg "Gate.eval_word: Input has no logic function"
+  | Buf -> inputs.(0)
+  | Not -> lnot inputs.(0) land word_mask
+  | And -> fold_and ()
+  | Nand -> lnot (fold_and ()) land word_mask
+  | Or -> fold_or ()
+  | Nor -> lnot (fold_or ()) land word_mask
+  | Xor -> fold_xor ()
+  | Xnor -> lnot (fold_xor ()) land word_mask
+  | Const0 -> 0
+  | Const1 -> word_mask
+
+let controlling_value = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Input | Buf | Not | Xor | Xnor | Const0 | Const1 -> None
+
+let inversion = function
+  | Nand | Nor | Not | Xnor -> true
+  | Input | Buf | And | Or | Xor | Const0 | Const1 -> false
+
+let all_kinds = [ Input; Buf; Not; And; Nand; Or; Nor; Xor; Xnor; Const0; Const1 ]

@@ -1,0 +1,46 @@
+(** Gate kinds of the combinational netlist intermediate representation.
+
+    The vocabulary matches the ISCAS [.bench] format: primary inputs are
+    modelled as fanin-less gates, constants as zero-fanin pseudo-gates. *)
+
+type kind =
+  | Input  (** primary input; no fanins *)
+  | Buf  (** identity; exactly one fanin *)
+  | Not  (** inverter; exactly one fanin *)
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Const0  (** constant 0; no fanins *)
+  | Const1  (** constant 1; no fanins *)
+
+val kind_to_string : kind -> string
+
+(** [kind_of_string s] accepts the ISCAS spellings, case-insensitively
+    (["NAND"], ["not"], …). Raises [Invalid_argument] on unknown names. *)
+val kind_of_string : string -> kind
+
+(** [arity_ok kind n] checks that a gate of [kind] may have [n] fanins. *)
+val arity_ok : kind -> int -> bool
+
+(** [eval kind inputs] evaluates one gate over booleans (reference
+    semantics, used by tests as the oracle for the bit-parallel
+    simulator). *)
+val eval : kind -> bool array -> bool
+
+(** [eval_word kind inputs] evaluates bit-parallel over native-int pattern
+    blocks: bit [k] of the result is the gate output under pattern [k]. The
+    mask of valid bits is the caller's concern. *)
+val eval_word : kind -> int array -> int
+
+(** [controlling_value kind] is [Some c] when driving any single input to
+    [c] fixes the output (AND/NAND → 0, OR/NOR → 1), [None] otherwise. *)
+val controlling_value : kind -> bool option
+
+(** [inversion kind] is [true] for gates whose output inverts the dominant
+    sense (NAND, NOR, NOT, XNOR). *)
+val inversion : kind -> bool
+
+val all_kinds : kind list

@@ -1,0 +1,211 @@
+open Reseed_util
+
+type spec = {
+  name : string;
+  n_inputs : int;
+  n_outputs : int;
+  n_gates : int;
+  seed : int;
+  hard_fraction : float;
+}
+
+let default_spec name ~inputs ~outputs ~gates =
+  (* Seed derived from the name so each benchmark is a distinct circuit. *)
+  let seed = String.fold_left (fun acc c -> (acc * 131) + Char.code c) 7 name in
+  { name; n_inputs = inputs; n_outputs = outputs; n_gates = gates; seed; hard_fraction = 0.06 }
+
+(* Weighted gate-kind mix close to the published ISCAS profiles. *)
+let sample_kind rng =
+  let r = Rng.int rng 100 in
+  if r < 28 then Gate.Nand
+  else if r < 44 then Gate.And
+  else if r < 58 then Gate.Nor
+  else if r < 70 then Gate.Or
+  else if r < 82 then Gate.Not
+  else if r < 90 then Gate.Xor
+  else if r < 95 then Gate.Xnor
+  else Gate.Buf
+
+(* Output one-probability under an input-independence assumption.  Used to
+   keep internal signals balanced: without this, AND/NOR-heavy random
+   structures drift to near-constant nodes within a few levels and the
+   whole circuit becomes untestable — unlike any real netlist. *)
+let output_prob kind input_probs =
+  let p_and = List.fold_left ( *. ) 1.0 input_probs in
+  let p_or = 1.0 -. List.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 input_probs in
+  let p_xor =
+    List.fold_left (fun acc p -> (acc *. (1.0 -. p)) +. ((1.0 -. acc) *. p)) 0.0 input_probs
+  in
+  match kind with
+  | Gate.Input -> invalid_arg "Generator.output_prob: Input"
+  | Gate.Buf -> List.hd input_probs
+  | Gate.Not -> 1.0 -. List.hd input_probs
+  | Gate.And -> p_and
+  | Gate.Nand -> 1.0 -. p_and
+  | Gate.Or -> p_or
+  | Gate.Nor -> 1.0 -. p_or
+  | Gate.Xor -> p_xor
+  | Gate.Xnor -> 1.0 -. p_xor
+  | Gate.Const0 -> 0.0
+  | Gate.Const1 -> 1.0
+
+let generate spec =
+  if spec.n_inputs < 2 then invalid_arg "Generator.generate: need at least 2 inputs";
+  if spec.n_outputs < 1 then invalid_arg "Generator.generate: need at least 1 output";
+  if spec.n_gates < spec.n_outputs then
+    invalid_arg "Generator.generate: fewer gates than outputs";
+  let rng = Rng.create spec.seed in
+  let b = Circuit.Builder.create spec.name in
+  (* Real ISCAS circuits are wide and shallow (depth 15-50 over thousands
+     of gates).  Build level by level: each gate draws most fanins from
+     the previous level and a few from anywhere earlier (reconvergence). *)
+  let depth =
+    let lg = int_of_float (Float.log2 (float_of_int (max 2 spec.n_gates))) in
+    max 6 (min 40 (6 + (2 * lg)))
+  in
+  let per_level = max 1 ((spec.n_gates + depth - 1) / depth) in
+  let unused = Hashtbl.create 256 in
+  let all_signals = ref [] and all_count = ref 0 in
+  let prob : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  let prev_level = ref [||] in
+  let push_all h p =
+    all_signals := h :: !all_signals;
+    incr all_count;
+    Hashtbl.replace unused h ();
+    Hashtbl.replace prob h p
+  in
+  let inputs =
+    Array.init spec.n_inputs (fun i ->
+        let h = Circuit.Builder.add_input b (Printf.sprintf "I%d" (i + 1)) in
+        push_all h 0.5;
+        h)
+  in
+  prev_level := inputs;
+  let fresh_label =
+    let counter = ref 0 in
+    fun () ->
+      incr counter;
+      Printf.sprintf "G%d" !counter
+  in
+  let p_of h = Hashtbl.find prob h in
+  let add_gate kind fanins =
+    List.iter (fun h -> Hashtbl.remove unused h) fanins;
+    let h = Circuit.Builder.add_gate b kind fanins (fresh_label ()) in
+    push_all h (output_prob kind (List.map p_of fanins));
+    h
+  in
+  let all_arr () = Array.of_list !all_signals in
+  (* Pick [k] distinct fanins: mostly previous level (consuming unused
+     signals first so nothing dangles), sometimes any earlier signal. *)
+  let pick_fanins k =
+    let prev = !prev_level in
+    let anywhere = all_arr () in
+    let chosen = Hashtbl.create k in
+    let take h = Hashtbl.replace chosen h () in
+    let dangling = Array.of_list (List.filter (Hashtbl.mem unused) (Array.to_list prev)) in
+    if Array.length dangling > 0 then take (Rng.pick rng dangling);
+    let guard = ref 0 in
+    while Hashtbl.length chosen < k && !guard < 60 do
+      let pool = if Rng.int rng 100 < 75 then prev else anywhere in
+      take (Rng.pick rng pool);
+      incr guard
+    done;
+    List.of_seq (Hashtbl.to_seq_keys chosen)
+  in
+  (* Among a few sampled kinds, keep the one whose output probability is
+     closest to 1/2 given these fanins. *)
+  let balanced_kind fanins =
+    let probs = List.map p_of fanins in
+    let score kind = Float.abs (output_prob kind probs -. 0.5) in
+    let candidates = [ sample_kind rng; sample_kind rng; sample_kind rng ] in
+    let viable = List.filter (fun k -> Gate.arity_ok k (List.length fanins)) candidates in
+    let viable = if viable = [] then [ Gate.Nand ] else viable in
+    List.fold_left
+      (fun best k -> if score k < score best then k else best)
+      (List.hd viable) (List.tl viable)
+  in
+  let gates_made = ref 0 in
+  (* Random-pattern-resistant cores, emitted right after the inputs like
+     the address decoders and constant comparators of real designs: a wide
+     AND over a window of primary inputs (detection probability 2^-w for
+     its stuck-at faults — the "not random testable by 10k patterns"
+     regime the paper's evaluation selects for), re-balanced through an
+     XOR so the fabric above stays balanced and the core stays perfectly
+     observable.  Windows are spread with a stride so tests for different
+     cores are mutually compatible and ATPG compaction can merge them —
+     as happens in the real ISCAS circuits. *)
+  let hard_outputs =
+    let n_cores =
+      let by_budget =
+        int_of_float (spec.hard_fraction *. float_of_int spec.n_gates /. 8.)
+      in
+      max 2 (min 24 by_budget)
+    in
+    let max_width = min 16 (spec.n_inputs - 2) in
+    if max_width < 4 then []
+    else
+      List.init n_cores (fun k ->
+          let width = min max_width (8 + (k mod 8)) in
+          let stride = max 1 (spec.n_inputs / n_cores) in
+          let window =
+            List.init width (fun j ->
+                inputs.(((k * stride) + j) mod spec.n_inputs))
+          in
+          let window = List.sort_uniq compare window in
+          let hard = add_gate Gate.And window in
+          let partner = inputs.(((k * stride) + width) mod spec.n_inputs) in
+          let partner = if partner = hard then inputs.(0) else partner in
+          let obs = add_gate Gate.Xor [ hard; partner ] in
+          gates_made := !gates_made + 2;
+          obs)
+  in
+  (* Seed the level stream with the observation points so core effects
+     flow through the fabric toward the outputs. *)
+  prev_level := Array.append !prev_level (Array.of_list hard_outputs);
+  while !gates_made < spec.n_gates do
+    let this_level = ref [] in
+    let want = min per_level (spec.n_gates - !gates_made) in
+    let made_here = ref 0 in
+    while !made_here < want do
+      begin
+        let arity =
+          let r = Rng.int rng 100 in
+          if r < 12 then 1 else if r < 80 then 2 else 3
+        in
+        let fanins = pick_fanins arity in
+        let kind =
+          match fanins with
+          | [ _ ] -> if Rng.bool rng then Gate.Not else Gate.Buf
+          | _ -> balanced_kind fanins
+        in
+        this_level := add_gate kind fanins :: !this_level;
+        incr made_here;
+        incr gates_made
+      end
+    done;
+    prev_level := Array.of_list (List.rev !this_level)
+  done;
+  (* Fold leftover unused signals into XOR observation trees until at most
+     [n_outputs] signals remain unused; these become the primary outputs. *)
+  let unused_list () = List.sort compare (List.of_seq (Hashtbl.to_seq_keys unused)) in
+  let rec fold_down () =
+    let l = unused_list () in
+    if List.length l > spec.n_outputs then begin
+      match l with
+      | a :: c :: _ ->
+          ignore (add_gate Gate.Xor [ a; c ]);
+          fold_down ()
+      | _ -> ()
+    end
+  in
+  fold_down ();
+  let outs = ref (unused_list ()) in
+  (* [all_arr] lists newest first; prefer deep signals as outputs. *)
+  let arr = all_arr () in
+  let i = ref 0 in
+  while List.length !outs < spec.n_outputs && !i < Array.length arr do
+    if not (List.mem arr.(!i) !outs) then outs := arr.(!i) :: !outs;
+    incr i
+  done;
+  List.iter (Circuit.Builder.mark_output b) !outs;
+  Circuit.Builder.finalize b

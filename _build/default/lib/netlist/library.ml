@@ -1,0 +1,241 @@
+let c17_bench =
+  {|# ISCAS'85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+|}
+
+let c17 () = Bench_io.parse ~name:"c17" c17_bench
+
+let ripple_adder n =
+  if n < 1 then invalid_arg "Library.ripple_adder: width must be >= 1";
+  let b = Circuit.Builder.create (Printf.sprintf "add%d" n) in
+  let a = Array.init n (fun i -> Circuit.Builder.add_input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init n (fun i -> Circuit.Builder.add_input b (Printf.sprintf "b%d" i)) in
+  let cin = Circuit.Builder.add_input b "cin" in
+  let carry = ref cin in
+  let gate = Circuit.Builder.add_gate b in
+  for i = 0 to n - 1 do
+    let axb = gate Gate.Xor [ a.(i); bb.(i) ] (Printf.sprintf "axb%d" i) in
+    let sum = gate Gate.Xor [ axb; !carry ] (Printf.sprintf "s%d" i) in
+    let g1 = gate Gate.And [ a.(i); bb.(i) ] (Printf.sprintf "g1_%d" i) in
+    let g2 = gate Gate.And [ axb; !carry ] (Printf.sprintf "g2_%d" i) in
+    let cout = gate Gate.Or [ g1; g2 ] (Printf.sprintf "c%d" i) in
+    Circuit.Builder.mark_output b sum;
+    carry := cout
+  done;
+  Circuit.Builder.mark_output b !carry;
+  Circuit.Builder.finalize b
+
+let parity n =
+  if n < 2 then invalid_arg "Library.parity: need at least 2 inputs";
+  let b = Circuit.Builder.create (Printf.sprintf "parity%d" n) in
+  let inputs =
+    Array.init n (fun i -> Circuit.Builder.add_input b (Printf.sprintf "x%d" i))
+  in
+  (* Balanced XOR tree. *)
+  let counter = ref 0 in
+  let rec reduce = function
+    | [] -> assert false
+    | [ single ] -> single
+    | signals ->
+        let rec pair acc = function
+          | x :: y :: rest ->
+              incr counter;
+              let g =
+                Circuit.Builder.add_gate b Gate.Xor [ x; y ]
+                  (Printf.sprintf "p%d" !counter)
+              in
+              pair (g :: acc) rest
+          | [ x ] -> pair (x :: acc) []
+          | [] -> List.rev acc
+        in
+        reduce (pair [] signals)
+  in
+  Circuit.Builder.mark_output b (reduce (Array.to_list inputs));
+  Circuit.Builder.finalize b
+
+let mux_tree k =
+  if k < 1 || k > 8 then invalid_arg "Library.mux_tree: k must be in [1, 8]";
+  let b = Circuit.Builder.create (Printf.sprintf "mux%d" k) in
+  let n = 1 lsl k in
+  let data = Array.init n (fun i -> Circuit.Builder.add_input b (Printf.sprintf "d%d" i)) in
+  let sel = Array.init k (fun i -> Circuit.Builder.add_input b (Printf.sprintf "s%d" i)) in
+  let gate = Circuit.Builder.add_gate b in
+  let counter = ref 0 in
+  let fresh prefix = incr counter; Printf.sprintf "%s%d" prefix !counter in
+  let sel_not = Array.map (fun s -> gate Gate.Not [ s ] (fresh "ns")) sel in
+  (* Level-by-level 2:1 reduction: level j keyed by select bit j. *)
+  let rec level j signals =
+    match signals with
+    | [ single ] -> single
+    | _ ->
+        let rec pair acc = function
+          | x :: y :: rest ->
+              let t0 = gate Gate.And [ x; sel_not.(j) ] (fresh "m0_") in
+              let t1 = gate Gate.And [ y; sel.(j) ] (fresh "m1_") in
+              let o = gate Gate.Or [ t0; t1 ] (fresh "mo_") in
+              pair (o :: acc) rest
+          | [ x ] -> pair (x :: acc) []
+          | [] -> List.rev acc
+        in
+        level (j + 1) (pair [] signals)
+  in
+  Circuit.Builder.mark_output b (level 0 (Array.to_list data));
+  Circuit.Builder.finalize b
+
+let comparator n =
+  if n < 1 then invalid_arg "Library.comparator: width must be >= 1";
+  let b = Circuit.Builder.create (Printf.sprintf "cmp%d" n) in
+  let a = Array.init n (fun i -> Circuit.Builder.add_input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init n (fun i -> Circuit.Builder.add_input b (Printf.sprintf "b%d" i)) in
+  let gate = Circuit.Builder.add_gate b in
+  let eqs =
+    Array.to_list
+      (Array.init n (fun i -> gate Gate.Xnor [ a.(i); bb.(i) ] (Printf.sprintf "e%d" i)))
+  in
+  let eq =
+    match eqs with
+    | [ single ] -> gate Gate.Buf [ single ] "eq"
+    | many -> gate Gate.And many "eq"
+  in
+  (* lt_i: a_i < b_i and all higher bits equal. *)
+  let not_a = Array.init n (fun i -> gate Gate.Not [ a.(i) ] (Printf.sprintf "na%d" i)) in
+  let eq_arr = Array.of_list eqs in
+  let terms = ref [] in
+  for i = n - 1 downto 0 do
+    let strict = gate Gate.And [ not_a.(i); bb.(i) ] (Printf.sprintf "lt_bit%d" i) in
+    let higher = ref [ strict ] in
+    for j = i + 1 to n - 1 do
+      higher := eq_arr.(j) :: !higher
+    done;
+    let term =
+      match !higher with
+      | [ single ] -> single
+      | many -> gate Gate.And many (Printf.sprintf "lt_term%d" i)
+    in
+    terms := term :: !terms
+  done;
+  let lt =
+    match !terms with
+    | [ single ] -> gate Gate.Buf [ single ] "lt"
+    | many -> gate Gate.Or many "lt"
+  in
+  Circuit.Builder.mark_output b eq;
+  Circuit.Builder.mark_output b lt;
+  Circuit.Builder.finalize b
+
+let alu n =
+  if n < 1 then invalid_arg "Library.alu: width must be >= 1";
+  let b = Circuit.Builder.create (Printf.sprintf "alu%d" n) in
+  let a = Array.init n (fun i -> Circuit.Builder.add_input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init n (fun i -> Circuit.Builder.add_input b (Printf.sprintf "b%d" i)) in
+  let s0 = Circuit.Builder.add_input b "op0" in
+  let s1 = Circuit.Builder.add_input b "op1" in
+  let gate = Circuit.Builder.add_gate b in
+  let ns0 = gate Gate.Not [ s0 ] "nop0" in
+  let ns1 = gate Gate.Not [ s1 ] "nop1" in
+  (* op 00: ADD, 01: AND, 10: OR, 11: XOR *)
+  let sel_add = gate Gate.And [ ns0; ns1 ] "sel_add" in
+  let sel_and = gate Gate.And [ s0; ns1 ] "sel_and" in
+  let sel_or = gate Gate.And [ ns0; s1 ] "sel_or" in
+  let sel_xor = gate Gate.And [ s0; s1 ] "sel_xor" in
+  let carry = ref sel_xor (* arbitrary 0/1 signal reused as cin = sel_xor? no: *) in
+  (* Carry-in must be constant 0; synthesise it as AND(s0, ns0). *)
+  let zero = gate Gate.And [ s0; ns0 ] "zero" in
+  carry := zero;
+  for i = 0 to n - 1 do
+    let axb = gate Gate.Xor [ a.(i); bb.(i) ] (Printf.sprintf "axb%d" i) in
+    let sum = gate Gate.Xor [ axb; !carry ] (Printf.sprintf "sum%d" i) in
+    let g1 = gate Gate.And [ a.(i); bb.(i) ] (Printf.sprintf "cg1_%d" i) in
+    let g2 = gate Gate.And [ axb; !carry ] (Printf.sprintf "cg2_%d" i) in
+    let cout = gate Gate.Or [ g1; g2 ] (Printf.sprintf "cout%d" i) in
+    let t_add = gate Gate.And [ sum; sel_add ] (Printf.sprintf "t_add%d" i) in
+    let t_and = gate Gate.And [ g1; sel_and ] (Printf.sprintf "t_and%d" i) in
+    let orv = gate Gate.Or [ a.(i); bb.(i) ] (Printf.sprintf "orv%d" i) in
+    let t_or = gate Gate.And [ orv; sel_or ] (Printf.sprintf "t_or%d" i) in
+    let t_xor = gate Gate.And [ axb; sel_xor ] (Printf.sprintf "t_xor%d" i) in
+    let out =
+      gate Gate.Or [ t_add; t_and; t_or; t_xor ] (Printf.sprintf "y%d" i)
+    in
+    Circuit.Builder.mark_output b out;
+    carry := cout
+  done;
+  Circuit.Builder.mark_output b !carry;
+  Circuit.Builder.finalize b
+
+(* Published PI/PO/gate profiles.  ISCAS'89 entries describe the full-scan
+   combinational core: scan cells appear as extra PI/PO pairs. *)
+let raw_catalog =
+  [
+    (* name,    PIs, POs, gates *)
+    ("c17", 5, 2, 6);
+    ("c432", 36, 7, 160);
+    ("c499", 41, 32, 202);
+    ("c880", 60, 26, 383);
+    ("c1355", 41, 32, 546);
+    ("c1908", 33, 25, 880);
+    ("c7552", 207, 108, 3512);
+    (* Remaining ISCAS'85 members, not part of the paper's Table 1 but
+       included so the library covers the whole benchmark family. *)
+    ("c2670", 233, 140, 1193);
+    ("c3540", 50, 22, 1669);
+    ("c5315", 178, 123, 2307);
+    ("c6288", 32, 32, 2416);
+    ("s420", 34, 17, 218);
+    ("s641", 54, 42, 379);
+    ("s820", 23, 24, 289);
+    ("s838", 66, 33, 446);
+    ("s953", 45, 52, 395);
+    ("s1238", 32, 32, 508);
+    ("s1423", 91, 79, 657);
+    ("s5378", 214, 228, 2779);
+    ("s9234", 247, 250, 5597);
+    ("s13207", 700, 790, 7951);
+    ("s15850", 611, 684, 9772);
+  ]
+
+let extended_names = [ "c2670"; "c3540"; "c5315"; "c6288" ]
+
+let full_catalog =
+  List.map
+    (fun (name, inputs, outputs, gates) ->
+      (name, Generator.default_spec name ~inputs ~outputs ~gates))
+    raw_catalog
+
+let paper_suite =
+  List.filter (fun (name, _) -> not (List.mem name extended_names)) full_catalog
+
+let spec_of name =
+  match List.assoc_opt name full_catalog with
+  | Some s -> s
+  | None -> raise Not_found
+
+let scale ~factor (spec : Generator.spec) =
+  if factor < 1 then invalid_arg "Library.scale: factor must be >= 1";
+  if factor = 1 then spec
+  else
+    {
+      spec with
+      Generator.n_inputs = max 2 (spec.Generator.n_inputs / factor);
+      n_outputs = max 1 (spec.Generator.n_outputs / factor);
+      n_gates = max 8 (spec.Generator.n_gates / factor);
+    }
+
+let load ?(scale_factor = 1) name =
+  if name = "c17" then c17 ()
+  else Generator.generate (scale ~factor:scale_factor (spec_of name))
+
+let names = List.map fst paper_suite
+
+let all_names = List.map fst full_catalog

@@ -1,0 +1,57 @@
+(** Built-in circuits.
+
+    Three sources:
+    - the real ISCAS'85 [c17] netlist (small enough to embed verbatim);
+    - structural parametric circuits (adders, parity trees, multiplexer
+      trees, comparators, a small ALU) used by examples and tests;
+    - the catalog of ISCAS-like synthetic stand-ins for every benchmark in
+      the paper's evaluation, generated with the published PI/PO/gate
+      profile (see {!Generator} and DESIGN.md for the substitution
+      rationale).  For the full-scan ISCAS'89 circuits the profile is the
+      combinational core: scan flip-flops count as extra PI/PO pairs. *)
+
+(** The genuine ISCAS'85 c17 netlist (5 PIs, 2 POs, 6 NAND gates). *)
+val c17 : unit -> Circuit.t
+
+(** [ripple_adder n] adds two [n]-bit operands with carry-in; outputs the
+    [n] sum bits then carry-out.  Inputs: [a0..], [b0..], [cin]. *)
+val ripple_adder : int -> Circuit.t
+
+(** [parity n] is an [n]-input XOR tree ([n >= 2]). *)
+val parity : int -> Circuit.t
+
+(** [mux_tree k] selects one of [2^k] data inputs by [k] select lines. *)
+val mux_tree : int -> Circuit.t
+
+(** [comparator n] compares two [n]-bit operands; outputs [eq] and [lt]
+    (unsigned A < B). *)
+val comparator : int -> Circuit.t
+
+(** [alu n] is an [n]-bit, 4-operation ALU (ADD, AND, OR, XOR) with two
+    select lines; outputs [n] result bits and the adder carry-out. *)
+val alu : int -> Circuit.t
+
+(** Paper benchmark suite, in the order of Table 1.  Each entry gives the
+    circuit name and its generation spec. *)
+val paper_suite : (string * Generator.spec) list
+
+(** [spec_of name] is the catalog spec for an ISCAS benchmark name.
+    Raises [Not_found] for unknown names. *)
+val spec_of : string -> Generator.spec
+
+(** [scale ~factor spec] shrinks a spec's gate/PI/PO counts by [factor]
+    (>= 1), keeping at least 2 inputs / 1 output / 8 gates.  Used for quick
+    bench runs on the largest circuits. *)
+val scale : factor:int -> Generator.spec -> Generator.spec
+
+(** [load ?scale_factor name] materialises a benchmark: the embedded real
+    netlist for ["c17"], otherwise the synthetic ISCAS-like circuit.
+    Raises [Not_found] for unknown names. *)
+val load : ?scale_factor:int -> string -> Circuit.t
+
+(** Catalog names appearing in the paper's Table 1, in its order. *)
+val names : string list
+
+(** Every loadable circuit, including the ISCAS'85 members the paper does
+    not evaluate (c2670, c3540, c5315, c6288). *)
+val all_names : string list

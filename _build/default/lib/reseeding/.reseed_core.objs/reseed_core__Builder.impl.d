@@ -1,0 +1,1 @@
+lib/reseeding/builder.ml: Array Bitvec Fault_sim Matrix Reseed_fault Reseed_setcover Reseed_tpg Reseed_util Rng Tpg Triplet Word

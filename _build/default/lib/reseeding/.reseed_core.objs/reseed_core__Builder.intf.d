@@ -1,0 +1,1 @@
+lib/reseeding/builder.mli: Bitvec Fault_sim Matrix Reseed_fault Reseed_setcover Reseed_tpg Reseed_util Tpg Triplet Word

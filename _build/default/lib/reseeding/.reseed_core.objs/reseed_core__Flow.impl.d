@@ -1,0 +1,1 @@
+lib/reseeding/flow.ml: Array Bitvec Builder Fault_sim List Reduce Reseed_fault Reseed_setcover Reseed_tpg Reseed_util Solution Stats Tpg Triplet Unix

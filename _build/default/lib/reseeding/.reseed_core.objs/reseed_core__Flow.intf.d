@@ -1,0 +1,1 @@
+lib/reseeding/flow.mli: Bitvec Builder Fault_sim Reduce Reseed_fault Reseed_setcover Reseed_tpg Reseed_util Solution Tpg Triplet

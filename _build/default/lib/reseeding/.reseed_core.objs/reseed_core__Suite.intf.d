@@ -1,0 +1,1 @@
+lib/reseeding/suite.mli: Atpg Bitvec Circuit Fault_sim Reseed_atpg Reseed_fault Reseed_netlist Reseed_tpg Reseed_util Tpg Tradeoff

@@ -1,0 +1,1 @@
+lib/reseeding/tradeoff.ml: Buffer Builder Flow List Printf String

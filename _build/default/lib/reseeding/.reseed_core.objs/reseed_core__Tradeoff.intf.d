@@ -1,0 +1,1 @@
+lib/reseeding/tradeoff.mli: Bitvec Fault_sim Flow Reseed_fault Reseed_tpg Reseed_util Tpg

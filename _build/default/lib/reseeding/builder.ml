@@ -1,0 +1,70 @@
+open Reseed_fault
+open Reseed_setcover
+open Reseed_tpg
+open Reseed_util
+
+type operand_mode = Random_operand | Shared_operand of Word.t
+
+type config = { cycles : int; operand_mode : operand_mode; seed : int }
+
+let default_config = { cycles = 150; operand_mode = Random_operand; seed = 17 }
+
+type t = {
+  triplets : Triplet.t array;
+  matrix : Matrix.t;
+  targets : Bitvec.t;
+  useful_cycles : int array;
+  fault_sims : int;
+}
+
+let build sim tpg ~tests ~targets ~config =
+  let nf = Fault_sim.fault_count sim in
+  if Bitvec.length targets <> nf then invalid_arg "Builder.build: target mask size";
+  let width = tpg.Tpg.width in
+  let rng = Rng.create config.seed in
+  let operand_for _i =
+    let raw =
+      match config.operand_mode with
+      | Random_operand -> Word.random rng width
+      | Shared_operand w ->
+          if Word.width w <> width then invalid_arg "Builder.build: shared operand width";
+          w
+    in
+    tpg.Tpg.fix_operand raw
+  in
+  let sims_before = Fault_sim.sims_performed sim in
+  let triplets =
+    Array.mapi
+      (fun i pattern ->
+        if Array.length pattern <> width then
+          invalid_arg "Builder.build: ATPG pattern width differs from TPG width";
+        Triplet.make ~seed:(Word.of_bits pattern) ~operand:(operand_for i)
+          ~cycles:config.cycles)
+      tests
+  in
+  let useful_cycles = Array.make (Array.length triplets) 1 in
+  let rows =
+    Array.mapi
+      (fun i triplet ->
+        let burst = Triplet.patterns tpg triplet in
+        let firsts = Fault_sim.first_detections sim ~active:targets burst in
+        let row = Bitvec.create nf in
+        Array.iteri
+          (fun fi first ->
+            match first with
+            | Some p when Bitvec.get targets fi ->
+                Bitvec.set row fi;
+                if p + 1 > useful_cycles.(i) then useful_cycles.(i) <- p + 1
+            | _ -> ())
+          firsts;
+        row)
+      triplets
+  in
+  let matrix = Matrix.of_rows ~cols:nf rows in
+  {
+    triplets;
+    matrix;
+    targets;
+    useful_cycles;
+    fault_sims = Fault_sim.sims_performed sim - sims_before;
+  }

@@ -1,0 +1,45 @@
+(** Initial Reseeding Builder (Section 3.1 / Figure 1).
+
+    From a deterministic ATPG test set [ATPGTS = p_0 … p_{M-1}], build the
+    initial reseeding [T] — one triplet per pattern, [δ_i = p_i], [σ_i]
+    random (or shared), evolution length fixed — and fill the Detection
+    Matrix by fault-simulating every burst against the target fault list.
+
+    Because a TPG burst emits its seed as the first pattern, triplet [i]
+    detects at least the faults [p_i] detects, so [T] covers the whole
+    target list by construction. *)
+
+open Reseed_fault
+open Reseed_setcover
+open Reseed_tpg
+open Reseed_util
+
+type operand_mode =
+  | Random_operand  (** a fresh random σ per triplet (the paper's choice) *)
+  | Shared_operand of Word.t  (** one σ for every triplet (ablation #4) *)
+
+type config = {
+  cycles : int;  (** evolution length T, "experimentally tuned" *)
+  operand_mode : operand_mode;
+  seed : int;  (** RNG seed for the random operands *)
+}
+
+val default_config : config
+
+type t = {
+  triplets : Triplet.t array;  (** the initial reseeding T, ATPGTS order *)
+  matrix : Matrix.t;  (** rows: triplets; cols: the full fault list *)
+  targets : Bitvec.t;  (** columns that must be covered (the list F) *)
+  useful_cycles : int array;
+      (** per triplet: 1 + index of the last burst pattern that detects a
+          target fault no earlier pattern of the same burst caught — an
+          upper estimate of the triplet's effective test length, used as
+          the row weight by the minimum-test-length objective *)
+  fault_sims : int;  (** injections spent building the matrix *)
+}
+
+(** [build sim tpg ~tests ~targets ~config] — [tests] is ATPGTS; [targets]
+    selects the fault list F among the simulator's faults.  Matrix columns
+    outside [targets] are left empty (they are not constraints). *)
+val build :
+  Fault_sim.t -> Tpg.t -> tests:bool array array -> targets:Bitvec.t -> config:config -> t

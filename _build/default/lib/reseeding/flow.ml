@@ -1,0 +1,109 @@
+open Reseed_fault
+open Reseed_setcover
+open Reseed_tpg
+open Reseed_util
+
+type objective = Min_triplets | Min_test_length
+
+type config = {
+  builder : Builder.config;
+  method_ : Solution.method_;
+  reduce : Reduce.config;
+  objective : objective;
+}
+
+let default_config =
+  {
+    builder = Builder.default_config;
+    method_ = Solution.Exact;
+    reduce = Reduce.default_config;
+    objective = Min_triplets;
+  }
+
+type result = {
+  tpg_name : string;
+  initial : Builder.t;
+  solution : Solution.t;
+  final_triplets : Triplet.t list;
+  test_length : int;
+  uniform_test_length : int;
+  coverage_pct : float;
+  fault_sims : int;
+  elapsed_s : float;
+}
+
+let reseedings r = List.length r.final_triplets
+
+(* Section 4 test-length accounting: apply the chosen triplets in order
+   with fault dropping; each burst is truncated after the last pattern
+   that detects a fault no earlier burst (or pattern) already covered. *)
+let truncate_solution sim tpg ~triplets ~targets rows =
+  let active = Bitvec.copy targets in
+  let final = ref [] in
+  List.iter
+    (fun row ->
+      let triplet = triplets.(row) in
+      let burst = Triplet.patterns tpg triplet in
+      let firsts = Fault_sim.first_detections sim ~active burst in
+      let last_useful = ref (-1) in
+      Array.iteri
+        (fun fi first ->
+          match first with
+          | Some p when Bitvec.get active fi ->
+              Bitvec.clear active fi;
+              if p > !last_useful then last_useful := p
+          | _ -> ())
+        firsts;
+      (* A minimal cover gives every selected triplet some unique fault. *)
+      if !last_useful >= 0 then
+        final := Triplet.truncate triplet (!last_useful + 1) :: !final)
+    rows;
+  (List.rev !final, active)
+
+let run ?(config = default_config) sim tpg ~tests ~targets =
+  let t0 = Unix.gettimeofday () in
+  let sims_before = Fault_sim.sims_performed sim in
+  let initial =
+    Builder.build sim tpg ~tests ~targets ~config:config.builder
+  in
+  let row_weights =
+    match config.objective with
+    | Min_triplets -> None
+    | Min_test_length ->
+        Some (Array.map float_of_int initial.Builder.useful_cycles)
+  in
+  let solution =
+    Solution.solve ~method_:config.method_ ~reduce_config:config.reduce
+      ?row_weights initial.Builder.matrix
+  in
+  let final_triplets, missed =
+    truncate_solution sim tpg ~triplets:initial.Builder.triplets ~targets
+      solution.Solution.rows
+  in
+  let covered = Bitvec.count targets - Bitvec.count missed in
+  let test_length =
+    List.fold_left (fun acc t -> acc + t.Triplet.cycles) 0 final_triplets
+  in
+  let max_cycles =
+    List.fold_left (fun acc t -> max acc t.Triplet.cycles) 0 final_triplets
+  in
+  {
+    tpg_name = tpg.Tpg.name;
+    initial;
+    solution;
+    final_triplets;
+    test_length;
+    uniform_test_length = List.length final_triplets * max_cycles;
+    coverage_pct = Stats.pct covered (max 1 (Bitvec.count targets));
+    fault_sims = Fault_sim.sims_performed sim - sims_before;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+let verify sim tpg r =
+  let all_patterns =
+    Array.concat (List.map (fun t -> Triplet.patterns tpg t) r.final_triplets)
+  in
+  let detected =
+    Fault_sim.detected_set sim all_patterns ~active:r.initial.Builder.targets
+  in
+  Bitvec.subset r.initial.Builder.targets detected

@@ -1,0 +1,60 @@
+(** The complete reseeding computation flow of Figure 1:
+
+    ATPG test set + fault list → Initial Reseeding Builder → Detection
+    Matrix → Matrix Reducer (essentiality + dominance) → exact solver on
+    the residual → final reseeding solution [N], with the test-length
+    accounting of Section 4 (per-triplet truncation of the trailing
+    patterns that add no coverage). *)
+
+open Reseed_fault
+open Reseed_setcover
+open Reseed_tpg
+open Reseed_util
+
+type objective =
+  | Min_triplets
+      (** the paper's objective: minimise the number of reseedings (ROM
+          area for storing triplets) *)
+  | Min_test_length
+      (** extension: minimise the estimated global test length instead,
+          using each triplet's useful burst length as its cost *)
+
+type config = {
+  builder : Builder.config;
+  method_ : Solution.method_;
+  reduce : Reduce.config;
+  objective : objective;
+}
+
+val default_config : config
+
+type result = {
+  tpg_name : string;
+  initial : Builder.t;  (** the initial reseeding and its matrix *)
+  solution : Solution.t;  (** selected row indices + pipeline stats *)
+  final_triplets : Triplet.t list;  (** truncated, in application order *)
+  test_length : int;  (** Σ truncated burst lengths *)
+  uniform_test_length : int;  (** |N| × max burst length (uniform-T mode) *)
+  coverage_pct : float;  (** over the target list F — 100 by construction *)
+  fault_sims : int;  (** total injections for matrix + accounting *)
+  elapsed_s : float;
+}
+
+(** [reseedings r] is the paper's “#Triplets”. *)
+val reseedings : result -> int
+
+(** [run ?config sim tpg ~tests ~targets] executes the whole flow.
+    [tests] is the deterministic test set (ATPGTS), [targets] the fault
+    list F. *)
+val run :
+  ?config:config ->
+  Fault_sim.t ->
+  Tpg.t ->
+  tests:bool array array ->
+  targets:Bitvec.t ->
+  result
+
+(** [verify sim tpg r] re-simulates the final truncated reseeding from
+    scratch and checks it covers the whole target list.  Used by tests
+    and examples as the end-to-end oracle. *)
+val verify : Fault_sim.t -> Tpg.t -> result -> bool

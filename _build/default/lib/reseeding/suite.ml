@@ -1,0 +1,243 @@
+open Reseed_atpg
+open Reseed_fault
+open Reseed_gatsby
+open Reseed_netlist
+open Reseed_tpg
+open Reseed_util
+
+type prepared = {
+  circuit : Circuit.t;
+  sim : Fault_sim.t;
+  tests : bool array array;
+  targets : Bitvec.t;
+  atpg : Atpg.result;
+}
+
+let prepare_circuit ?atpg_config circuit =
+  let sim, atpg = Atpg.run_circuit ?config:atpg_config circuit in
+  {
+    circuit;
+    sim;
+    tests = atpg.Atpg.tests;
+    targets = atpg.Atpg.detected;
+    atpg;
+  }
+
+let prepare ?scale_factor ?atpg_config name =
+  prepare_circuit ?atpg_config (Library.load ?scale_factor name)
+
+let paper_tpgs p = Accumulator.paper_tpgs (Circuit.input_count p.circuit)
+
+type table1_entry = {
+  tpg : string;
+  sc_triplets : int;
+  sc_test_length : int;
+  sc_rom_bits : int;
+  sc_fault_sims : int;
+  gatsby_triplets : int option;
+  gatsby_test_length : int option;
+  gatsby_fault_sims : int option;
+}
+
+type table1_row = { t1_name : string; entries : table1_entry list }
+
+let flow_config_with_cycles cycles =
+  match cycles with
+  | None -> Flow.default_config
+  | Some c ->
+      {
+        Flow.default_config with
+        Flow.builder = { Builder.default_config with Builder.cycles = c };
+      }
+
+(* Flow runs are deterministic; Table 1 and Table 2 share them. *)
+let flow_cache : (string * string * int, Flow.result) Hashtbl.t = Hashtbl.create 64
+
+let cached_flow p tpg config =
+  let key =
+    (Circuit.name p.circuit, tpg.Tpg.name, config.Flow.builder.Builder.cycles)
+  in
+  match Hashtbl.find_opt flow_cache key with
+  | Some r -> r
+  | None ->
+      let r = Flow.run ~config p.sim tpg ~tests:p.tests ~targets:p.targets in
+      Hashtbl.replace flow_cache key r;
+      r
+
+let table1_row ?cycles ?(with_gatsby = true) p =
+  let config = flow_config_with_cycles cycles in
+  let entries =
+    List.map
+      (fun tpg ->
+        let r = cached_flow p tpg config in
+        let gatsby =
+          if with_gatsby then begin
+            let gconfig =
+              {
+                Gatsby.default_config with
+                Gatsby.cycles = config.Flow.builder.Builder.cycles;
+              }
+            in
+            let rng = Rng.create 1234 in
+            Some (Gatsby.run ~config:gconfig p.sim tpg ~rng ~targets:p.targets)
+          end
+          else None
+        in
+        {
+          tpg = tpg.Tpg.name;
+          sc_triplets = Flow.reseedings r;
+          sc_test_length = r.Flow.test_length;
+          sc_rom_bits =
+            List.fold_left
+              (fun acc t -> acc + Triplet.storage_bits t)
+              0 r.Flow.final_triplets;
+          sc_fault_sims = r.Flow.fault_sims;
+          gatsby_triplets = Option.map (fun g -> List.length g.Gatsby.triplets) gatsby;
+          gatsby_test_length = Option.map (fun g -> g.Gatsby.test_length) gatsby;
+          gatsby_fault_sims = Option.map (fun g -> g.Gatsby.fault_sims) gatsby;
+        })
+      (paper_tpgs p)
+  in
+  { t1_name = Circuit.name p.circuit; entries }
+
+type table2_entry = {
+  t2_tpg : string;
+  necessary : int;
+  reduced_rows : int;
+  reduced_cols : int;
+  from_solver : int;
+  iterations : int;
+}
+
+type table2_row = {
+  t2_name : string;
+  initial_triplets : int;
+  initial_faults : int;
+  t2_entries : table2_entry list;
+}
+
+let table2_row ?cycles p =
+  let config = flow_config_with_cycles cycles in
+  let t2_entries =
+    List.map
+      (fun tpg ->
+        let r = cached_flow p tpg config in
+        let s = r.Flow.solution.Reseed_setcover.Solution.stats in
+        {
+          t2_tpg = tpg.Tpg.name;
+          necessary = List.length s.Reseed_setcover.Solution.necessary;
+          reduced_rows = s.Reseed_setcover.Solution.reduced_rows;
+          reduced_cols = s.Reseed_setcover.Solution.reduced_cols;
+          from_solver = List.length s.Reseed_setcover.Solution.from_solver;
+          iterations = s.Reseed_setcover.Solution.reduction_iterations;
+        })
+      (paper_tpgs p)
+  in
+  {
+    t2_name = Circuit.name p.circuit;
+    initial_triplets = Array.length p.tests;
+    initial_faults = Bitvec.count p.targets;
+    t2_entries;
+  }
+
+let figure2 ?grid p tpg =
+  let grid =
+    match grid with Some g -> g | None -> Tradeoff.default_grid ~max_cycles:256
+  in
+  Tradeoff.sweep p.sim tpg ~tests:p.tests ~targets:p.targets ~grid
+
+let table1_table rows =
+  let t =
+    Table.create ~title:"Table 1: Reseeding solution (set covering vs GATSBY)"
+      [
+        ("Circuit", Table.Left);
+        ("TPG", Table.Left);
+        ("#Triplets", Table.Right);
+        ("Test Length", Table.Right);
+        ("ROM bits", Table.Right);
+        ("GATSBY #Triplets", Table.Right);
+        ("GATSBY Test Length", Table.Right);
+        ("Δ#Triplets", Table.Right);
+      ]
+  in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun e ->
+          Table.add_row t
+            [
+              row.t1_name;
+              e.tpg;
+              Table.cell_int e.sc_triplets;
+              Table.cell_int e.sc_test_length;
+              Table.cell_int e.sc_rom_bits;
+              Table.cell_opt Table.cell_int e.gatsby_triplets;
+              Table.cell_opt Table.cell_int e.gatsby_test_length;
+              Table.cell_opt
+                (fun g -> Table.cell_int (e.sc_triplets - g))
+                e.gatsby_triplets;
+            ])
+        row.entries;
+      Table.add_separator t)
+    rows;
+  t
+
+let render_table1 rows = Table.render (table1_table rows)
+
+let csv_table1 rows = Table.to_csv (table1_table rows)
+
+let table2_table rows =
+  let t =
+    Table.create ~title:"Table 2: Set Covering algorithm (matrix reduction impact)"
+      [
+        ("Circuit", Table.Left);
+        ("Initial matrix", Table.Right);
+        ("TPG", Table.Left);
+        ("Necessary", Table.Right);
+        ("Reduced matrix", Table.Right);
+        ("From solver", Table.Right);
+        ("Iter", Table.Right);
+      ]
+  in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun e ->
+          Table.add_row t
+            [
+              row.t2_name;
+              Printf.sprintf "%dx%d" row.initial_triplets row.initial_faults;
+              e.t2_tpg;
+              Table.cell_int e.necessary;
+              Printf.sprintf "%dx%d" e.reduced_rows e.reduced_cols;
+              Table.cell_int e.from_solver;
+              Table.cell_int e.iterations;
+            ])
+        row.t2_entries;
+      Table.add_separator t)
+    rows;
+  t
+
+let render_table2 rows = Table.render (table2_table rows)
+
+let csv_table2 rows = Table.to_csv (table2_table rows)
+
+let csv_figure2 points =
+  let t =
+    Table.create ~title:"figure2"
+      [ ("cycles", Table.Right); ("triplets", Table.Right); ("test_length", Table.Right) ]
+  in
+  List.iter
+    (fun (pt : Tradeoff.point) ->
+      Table.add_row t
+        [
+          Table.cell_int pt.Tradeoff.cycles;
+          Table.cell_int pt.Tradeoff.triplets;
+          Table.cell_int pt.Tradeoff.test_length;
+        ])
+    points;
+  Table.to_csv t
+
+let quick_suite = [ "c17"; "c432"; "c499"; "c880"; "s420"; "s641"; "s820"; "s1238" ]
+
+let full_suite = Library.names

@@ -1,0 +1,90 @@
+(** Experiment drivers regenerating the paper's tables and figure.
+
+    Shared by [bench/main.exe] and the [reseed] CLI.  A {!prepared}
+    workload bundles everything that is TPG-independent (circuit, fault
+    list, ATPG test set); each table row then reuses it across the three
+    accumulator TPGs, exactly like the paper's evaluation. *)
+
+open Reseed_atpg
+open Reseed_fault
+open Reseed_netlist
+open Reseed_tpg
+open Reseed_util
+
+type prepared = {
+  circuit : Circuit.t;
+  sim : Fault_sim.t;
+  tests : bool array array;  (** ATPGTS *)
+  targets : Bitvec.t;  (** fault list F := faults ATPGTS covers *)
+  atpg : Atpg.result;
+}
+
+(** [prepare ?scale_factor ?atpg_config name] loads a catalog circuit and
+    runs the ATPG front-end once. *)
+val prepare : ?scale_factor:int -> ?atpg_config:Atpg.config -> string -> prepared
+
+(** [prepare_circuit ?atpg_config c] — same, for an arbitrary circuit. *)
+val prepare_circuit : ?atpg_config:Atpg.config -> Circuit.t -> prepared
+
+(** [paper_tpgs p] instantiates adder / multiplier / subtracter at the
+    circuit's PI width. *)
+val paper_tpgs : prepared -> Tpg.t list
+
+(** One Table 1 cell group: set covering vs GATSBY for one TPG. *)
+type table1_entry = {
+  tpg : string;
+  sc_triplets : int;
+  sc_test_length : int;
+  sc_rom_bits : int;  (** Σ triplet storage: the paper's area-overhead proxy *)
+  sc_fault_sims : int;
+  gatsby_triplets : int option;  (** [None] when GATSBY was skipped *)
+  gatsby_test_length : int option;
+  gatsby_fault_sims : int option;
+}
+
+type table1_row = { t1_name : string; entries : table1_entry list }
+
+(** [table1_row ?cycles ?with_gatsby p] evaluates all three TPGs.
+    [with_gatsby] defaults to [true]. *)
+val table1_row : ?cycles:int -> ?with_gatsby:bool -> prepared -> table1_row
+
+(** One Table 2 row: covering-instance statistics for one TPG. *)
+type table2_entry = {
+  t2_tpg : string;
+  necessary : int;  (** triplets forced by essentiality *)
+  reduced_rows : int;  (** residual matrix after reduction *)
+  reduced_cols : int;
+  from_solver : int;  (** triplets added by the exact solver *)
+  iterations : int;
+}
+
+type table2_row = {
+  t2_name : string;
+  initial_triplets : int;  (** |ATPGTS| — rows of the initial matrix *)
+  initial_faults : int;  (** |F| — columns that are real constraints *)
+  t2_entries : table2_entry list;
+}
+
+val table2_row : ?cycles:int -> prepared -> table2_row
+
+(** [figure2 ?grid p tpg] is the Figure 2 sweep for one TPG. *)
+val figure2 : ?grid:int list -> prepared -> Tpg.t -> Tradeoff.point list
+
+(** Rendering. *)
+
+val render_table1 : table1_row list -> string
+val render_table2 : table2_row list -> string
+
+(** CSV renditions of the same tables, for plotting. *)
+
+val csv_table1 : table1_row list -> string
+val csv_table2 : table2_row list -> string
+val csv_figure2 : Tradeoff.point list -> string
+
+(** Suites: catalog names in Table 1 order. *)
+
+val quick_suite : string list
+(** small circuits — seconds each. *)
+
+val full_suite : string list
+(** every catalog entry; the largest are scaled unless [scale_factor 1]. *)

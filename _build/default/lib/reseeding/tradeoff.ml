@@ -1,0 +1,30 @@
+
+type point = { cycles : int; triplets : int; test_length : int }
+
+let sweep ?(flow_config = Flow.default_config) sim tpg ~tests ~targets ~grid =
+  List.map
+    (fun cycles ->
+      if cycles < 1 then invalid_arg "Tradeoff.sweep: cycles must be >= 1";
+      let config =
+        { flow_config with Flow.builder = { flow_config.Flow.builder with Builder.cycles } }
+      in
+      let r = Flow.run ~config sim tpg ~tests ~targets in
+      { cycles; triplets = Flow.reseedings r; test_length = r.Flow.test_length })
+    (List.sort compare grid)
+
+let default_grid ~max_cycles =
+  let rec go c acc = if c > max_cycles then List.rev acc else go (c * 2) (c :: acc) in
+  go 8 []
+
+let render points =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "Trade-off: reseedings vs test length\n";
+  let max_triplets = List.fold_left (fun m p -> max m p.triplets) 1 points in
+  List.iter
+    (fun p ->
+      let bar = String.make (max 1 (p.triplets * 40 / max_triplets)) '#' in
+      Buffer.add_string buf
+        (Printf.sprintf "T=%5d | %-40s %3d triplets, test length %6d\n" p.cycles bar
+           p.triplets p.test_length))
+    points;
+  Buffer.contents buf

@@ -1,0 +1,36 @@
+(** Reseedings vs. test length trade-off (Figure 2).
+
+    Re-runs the full covering flow for a grid of evolution lengths [T]:
+    longer bursts let single triplets cover more faults, shrinking the
+    solution at the price of a longer global test — the paper's s1238
+    series goes from 11 triplets / 5 427 patterns to 2 triplets / 15 551
+    patterns. *)
+
+open Reseed_fault
+open Reseed_tpg
+open Reseed_util
+
+type point = {
+  cycles : int;  (** the swept evolution length T *)
+  triplets : int;  (** reseedings in the minimal solution *)
+  test_length : int;  (** truncated global test length *)
+}
+
+(** [sweep ?flow_config sim tpg ~tests ~targets ~grid] runs one flow per
+    grid entry (ascending) and returns one point per entry. *)
+val sweep :
+  ?flow_config:Flow.config ->
+  Fault_sim.t ->
+  Tpg.t ->
+  tests:bool array array ->
+  targets:Bitvec.t ->
+  grid:int list ->
+  point list
+
+(** [default_grid ~max_cycles] is a geometric grid from 8 up to
+    [max_cycles]. *)
+val default_grid : max_cycles:int -> int list
+
+(** [render points] draws the trade-off as a small ASCII chart plus the
+    numeric series, in the spirit of Figure 2. *)
+val render : point list -> string

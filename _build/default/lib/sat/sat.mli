@@ -1,0 +1,34 @@
+(** A small DPLL SAT solver over CNF.
+
+    Built as the substrate for SAT-based test generation (Larrabee-style
+    ATPG): unit propagation over occurrence lists, chronological
+    backtracking, and a conflict budget that turns pathological instances
+    into an explicit [Unknown] instead of a hang.  Complete within the
+    budget: [Unsat] is a proof.
+
+    Variables are positive integers [1..nvars]; a literal is [+v] or
+    [-v]. *)
+
+type t
+
+type outcome =
+  | Sat of bool array  (** model, indexed by variable (entry 0 unused) *)
+  | Unsat
+  | Unknown  (** conflict budget exhausted *)
+
+(** [create nvars] — a solver over variables [1..nvars]. *)
+val create : int -> t
+
+(** [add_clause t lits] adds a disjunction.  Duplicate literals are
+    merged; a clause containing both [v] and [-v] is dropped as a
+    tautology.  Adding the empty clause makes the instance trivially
+    unsatisfiable.  Raises [Invalid_argument] on out-of-range literals. *)
+val add_clause : t -> int list -> unit
+
+(** [solve ?assumptions ?max_conflicts t] — [assumptions] are literals
+    fixed before search (default none); [max_conflicts] defaults to
+    200_000. *)
+val solve : ?assumptions:int list -> ?max_conflicts:int -> t -> outcome
+
+val nvars : t -> int
+val clause_count : t -> int

@@ -1,0 +1,1 @@
+lib/setcover/greedy.ml: Bitvec List Matrix Reseed_util

@@ -1,0 +1,1 @@
+lib/setcover/ilp.ml: Array Bitvec Float Greedy List Matrix Reseed_util Stdlib

@@ -1,0 +1,1 @@
+lib/setcover/ilp.mli: Matrix

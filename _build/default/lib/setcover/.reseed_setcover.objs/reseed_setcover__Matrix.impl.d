@@ -1,0 +1,1 @@
+lib/setcover/matrix.ml: Array Bitvec Format List Reseed_util

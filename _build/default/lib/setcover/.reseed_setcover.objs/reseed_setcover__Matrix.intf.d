@@ -1,0 +1,1 @@
+lib/setcover/matrix.mli: Bitvec Format Reseed_util

@@ -1,0 +1,1 @@
+lib/setcover/reduce.ml: Array Bitvec Hashtbl List Matrix Reseed_util

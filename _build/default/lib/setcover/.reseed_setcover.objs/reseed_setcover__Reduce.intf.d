@@ -1,0 +1,1 @@
+lib/setcover/reduce.mli: Bitvec Matrix Reseed_util

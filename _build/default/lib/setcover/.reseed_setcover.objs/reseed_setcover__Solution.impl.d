@@ -1,0 +1,1 @@
+lib/setcover/solution.ml: Array Fun Greedy Ilp List Matrix Option Reduce Reseed_util

@@ -1,0 +1,1 @@
+lib/setcover/solution.mli: Matrix Reduce

@@ -1,0 +1,9 @@
+(** Greedy set covering (Chvátal): repeatedly take the row covering the
+    most still-uncovered columns.  ln(n)-approximate; used as the upper
+    bound seeding the exact branch-and-bound and as an ablation baseline
+    against the exact solver. *)
+
+(** [solve m] returns selected row indices in pick order.  Columns no row
+    covers are ignored.  The result always covers every coverable
+    column. *)
+val solve : Matrix.t -> int list

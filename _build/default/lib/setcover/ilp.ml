@@ -1,0 +1,105 @@
+open Reseed_util
+
+type result = {
+  selected : int list;
+  cost : float;
+  optimal : bool;
+  nodes_explored : int;
+}
+
+let epsilon = 1e-9
+
+let solve ?weights ?(node_limit = 2_000_000) m =
+  let n_rows = Matrix.rows m and n_cols = Matrix.cols m in
+  let weights =
+    match weights with
+    | None -> Array.make n_rows 1.0
+    | Some w ->
+        if Array.length w <> n_rows then invalid_arg "Ilp.solve: weight count mismatch";
+        Array.iter (fun x -> if x <= 0. then invalid_arg "Ilp.solve: weights must be > 0") w;
+        w
+  in
+  let all_need = Bitvec.create n_cols in
+  for j = 0 to n_cols - 1 do
+    if Bitvec.is_empty (Matrix.col m j) then
+      invalid_arg "Ilp.solve: infeasible (uncoverable column)"
+    else Bitvec.set all_need j
+  done;
+  (* Incumbent: greedy upper bound. *)
+  let greedy_rows = Greedy.solve m in
+  let best_set = ref greedy_rows in
+  let best_cost =
+    ref (List.fold_left (fun acc i -> acc +. weights.(i)) 0. greedy_rows)
+  in
+  let nodes = ref 0 in
+  let out_of_budget = ref false in
+  (* Weighted independent-column bound: columns whose covering-row sets
+     are pairwise disjoint need pairwise distinct rows, so the cheapest
+     row of each is a valid additive lower bound. *)
+  let min_weight_of_col j =
+    Bitvec.fold_ones
+      (fun acc i -> Float.min acc weights.(i))
+      Float.infinity (Matrix.col m j)
+  in
+  let lower_bound need =
+    let used = Bitvec.create n_rows in
+    let lb = ref 0. in
+    Bitvec.iter_ones
+      (fun j ->
+        let cover = Matrix.col m j in
+        if not (Bitvec.intersects cover used) then begin
+          Bitvec.union_into ~into:used cover;
+          lb := !lb +. min_weight_of_col j
+        end)
+      need;
+    !lb
+  in
+  let rec branch need chosen cost =
+    if !out_of_budget then ()
+    else begin
+      incr nodes;
+      if !nodes > node_limit then out_of_budget := true
+      else if Bitvec.is_empty need then begin
+        if cost < !best_cost -. epsilon then begin
+          best_cost := cost;
+          best_set := chosen
+        end
+      end
+      else if cost +. lower_bound need < !best_cost -. epsilon then begin
+        (* Branch on the hardest column: fewest covering rows. *)
+        let pick = ref (-1) and pick_count = ref max_int in
+        Bitvec.iter_ones
+          (fun j ->
+            let cnt = Bitvec.count (Matrix.col m j) in
+            if cnt < !pick_count then begin
+              pick := j;
+              pick_count := cnt
+            end)
+          need;
+        let candidates =
+          List.sort
+            (fun a b ->
+              (* Cheapest first; larger marginal coverage breaks ties. *)
+              let c = Float.compare weights.(a) weights.(b) in
+              if c <> 0 then c
+              else
+                Stdlib.compare
+                  (Bitvec.count_inter (Matrix.row m b) need)
+                  (Bitvec.count_inter (Matrix.row m a) need))
+            (Bitvec.to_list (Matrix.col m !pick))
+        in
+        List.iter
+          (fun i ->
+            let need' = Bitvec.diff need (Matrix.row m i) in
+            branch need' (i :: chosen) (cost +. weights.(i)))
+          candidates
+      end
+    end
+  in
+  branch all_need [] 0.;
+  {
+    selected = List.sort compare !best_set;
+    cost = !best_cost;
+    optimal = not !out_of_budget;
+    nodes_explored = !nodes;
+  }

@@ -1,0 +1,25 @@
+(** Exact 0/1 integer solver for (weighted) unate set covering — the
+    *LINGO* substitute.
+
+    minimize    Σ w_i·x_i
+    subject to  A·x ≥ 1 (every column covered),  x ∈ {0,1}^rows
+
+    Branch-and-bound: branch on the hardest column (fewest covering
+    rows), bound with a weighted independent-column lower bound plus the
+    cost so far, seed the incumbent with the greedy solution.  The search
+    is exhaustive, so on return with [optimal = true] the result is a
+    global optimum — exactly what the paper gets out of LINGO on the
+    reduced matrix. *)
+
+type result = {
+  selected : int list;  (** chosen row indices, ascending *)
+  cost : float;
+  optimal : bool;  (** false only when the node budget was exhausted *)
+  nodes_explored : int;
+}
+
+(** [solve ?weights ?node_limit m] — [weights] defaults to all-ones
+    (cardinality minimisation); [node_limit] defaults to 2_000_000.
+    Raises [Invalid_argument] if some column is coverable by no row
+    (infeasible) — reduce first, or check {!Matrix.uncoverable}. *)
+val solve : ?weights:float array -> ?node_limit:int -> Matrix.t -> result

@@ -1,0 +1,66 @@
+open Reseed_util
+
+type t = {
+  n_rows : int;
+  n_cols : int;
+  row_bits : Bitvec.t array; (* per row, over columns *)
+  col_bits : Bitvec.t array; (* per column, over rows *)
+}
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative size";
+  {
+    n_rows = rows;
+    n_cols = cols;
+    row_bits = Array.init rows (fun _ -> Bitvec.create cols);
+    col_bits = Array.init cols (fun _ -> Bitvec.create rows);
+  }
+
+let of_rows ~cols rows_arr =
+  let m = create ~rows:(Array.length rows_arr) ~cols in
+  Array.iteri
+    (fun i v ->
+      if Bitvec.length v <> cols then invalid_arg "Matrix.of_rows: row width mismatch";
+      Bitvec.iter_ones
+        (fun j ->
+          Bitvec.set m.row_bits.(i) j;
+          Bitvec.set m.col_bits.(j) i)
+        v)
+    rows_arr;
+  m
+
+let rows m = m.n_rows
+let cols m = m.n_cols
+
+let set m ~row ~col =
+  Bitvec.set m.row_bits.(row) col;
+  Bitvec.set m.col_bits.(col) row
+
+let get m ~row ~col = Bitvec.get m.row_bits.(row) col
+
+let row m i = m.row_bits.(i)
+let col m j = m.col_bits.(j)
+
+let ones m = Array.fold_left (fun acc v -> acc + Bitvec.count v) 0 m.row_bits
+
+let density m =
+  if m.n_rows = 0 || m.n_cols = 0 then 0.
+  else float_of_int (ones m) /. float_of_int (m.n_rows * m.n_cols)
+
+let covers m ~rows_subset =
+  let union = Bitvec.create m.n_cols in
+  List.iter (fun i -> Bitvec.union_into ~into:union m.row_bits.(i)) rows_subset;
+  let all = Bitvec.create m.n_cols in
+  Array.iter (fun v -> Bitvec.union_into ~into:all v) m.row_bits;
+  Bitvec.subset all union
+
+let uncoverable m =
+  let acc = ref [] in
+  for j = m.n_cols - 1 downto 0 do
+    if Bitvec.is_empty m.col_bits.(j) then acc := j :: !acc
+  done;
+  !acc
+
+let pp_stats ppf m =
+  Format.fprintf ppf "%dx%d, %d ones (density %.4f)" m.n_rows m.n_cols (ones m)
+    (density m)

@@ -1,0 +1,233 @@
+open Reseed_util
+
+type config = { row_dominance : bool; col_dominance : bool; essentials : bool }
+
+let default_config = { row_dominance = true; col_dominance = true; essentials = true }
+
+type result = {
+  necessary : int list;
+  remaining_rows : int list;
+  remaining_cols : int list;
+  iterations : int;
+  rows_dominated : int;
+  cols_dominated : int;
+}
+
+(* Column-dominance comparisons are quadratic in active columns; beyond
+   this many columns the pass is skipped for the iteration (essentiality
+   and row dominance will usually shrink the instance below it). *)
+let col_dominance_limit = 6000
+
+let run ?(config = default_config) ?row_weights m =
+  let n_rows = Matrix.rows m and n_cols = Matrix.cols m in
+  (match row_weights with
+  | Some w when Array.length w <> n_rows ->
+      invalid_arg "Reduce.run: row_weights size mismatch"
+  | _ -> ());
+  (* Dropping row i in favour of k is optimum-preserving only when k is
+     not more expensive. *)
+  let weight_ok ~dropped ~kept =
+    match row_weights with
+    | None -> true
+    | Some w -> w.(kept) <= w.(dropped)
+  in
+  (* For rows with identical covers only one may be dropped; prefer the
+     more expensive one, then the higher index. *)
+  let tie_break ~dropped ~kept =
+    match row_weights with
+    | None -> dropped > kept
+    | Some w -> w.(kept) < w.(dropped) || (w.(kept) = w.(dropped) && dropped > kept)
+  in
+  let row_active = Array.make n_rows true in
+  let col_active = Array.make n_cols true in
+  let row_mask = Bitvec.create n_rows in
+  let col_mask = Bitvec.create n_cols in
+  Bitvec.fill_all row_mask;
+  Bitvec.fill_all col_mask;
+  (* Columns no row covers can never be satisfied: drop them up front. *)
+  List.iter
+    (fun j ->
+      col_active.(j) <- false;
+      Bitvec.clear col_mask j)
+    (Matrix.uncoverable m);
+  let necessary = ref [] in
+  let rows_dominated = ref 0 and cols_dominated = ref 0 in
+  let drop_row i =
+    row_active.(i) <- false;
+    Bitvec.clear row_mask i
+  in
+  let drop_col j =
+    col_active.(j) <- false;
+    Bitvec.clear col_mask j
+  in
+  let select_row i =
+    necessary := i :: !necessary;
+    drop_row i;
+    Bitvec.iter_ones (fun j -> if col_active.(j) then drop_col j) (Matrix.row m i)
+  in
+  let pass_essentials () =
+    let changed = ref false in
+    for j = 0 to n_cols - 1 do
+      if col_active.(j) then begin
+        let cover = Matrix.col m j in
+        let count = Bitvec.count_inter cover row_mask in
+        if count = 1 then begin
+          let r = ref (-1) in
+          Bitvec.iter_ones (fun i -> if !r < 0 && row_active.(i) then r := i) cover;
+          if !r >= 0 then begin
+            select_row !r;
+            changed := true
+          end
+        end
+      end
+    done;
+    !changed
+  in
+  let active_rows () =
+    let acc = ref [] in
+    for i = n_rows - 1 downto 0 do
+      if row_active.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  let active_cols () =
+    let acc = ref [] in
+    for j = n_cols - 1 downto 0 do
+      if col_active.(j) then acc := j :: !acc
+    done;
+    !acc
+  in
+  let pass_row_dominance () =
+    let changed = ref false in
+    let rows = Array.of_list (active_rows ()) in
+    let counts =
+      Array.map (fun i -> Bitvec.count_inter (Matrix.row m i) col_mask) rows
+    in
+    let n = Array.length rows in
+    for a = 0 to n - 1 do
+      let i = rows.(a) in
+      if row_active.(i) then
+        for bidx = 0 to n - 1 do
+          let k = rows.(bidx) in
+          if k <> i && row_active.(i) && row_active.(k) && counts.(a) <= counts.(bidx)
+          then
+            (* Equal covers: drop the higher index only. *)
+            if
+              weight_ok ~dropped:i ~kept:k
+              && Bitvec.subset_masked (Matrix.row m i) (Matrix.row m k) ~mask:col_mask
+              && (counts.(a) < counts.(bidx) || tie_break ~dropped:i ~kept:k)
+            then begin
+              drop_row i;
+              incr rows_dominated;
+              changed := true
+            end
+        done
+    done;
+    !changed
+  in
+  (* Identical columns (faults detected by exactly the same triplets) are
+     rampant in detection matrices — every easy fault is covered by every
+     row.  Deduplicate them in one linear hash pass so the quadratic
+     dominance pass only sees distinct columns. *)
+  let pass_col_dedup () =
+    let seen = Hashtbl.create 1024 in
+    let changed = ref false in
+    for j = 0 to n_cols - 1 do
+      if col_active.(j) then begin
+        let key =
+          Bitvec.fold_ones
+            (fun acc i -> if row_active.(i) then i :: acc else acc)
+            [] (Matrix.col m j)
+        in
+        if Hashtbl.mem seen key then begin
+          drop_col j;
+          incr cols_dominated;
+          changed := true
+        end
+        else Hashtbl.add seen key ()
+      end
+    done;
+    !changed
+  in
+  let pass_col_dominance () =
+    let cols = Array.of_list (active_cols ()) in
+    let n = Array.length cols in
+    if n > col_dominance_limit then false
+    else begin
+      let changed = ref false in
+      let counts =
+        Array.map (fun j -> Bitvec.count_inter (Matrix.col m j) row_mask) cols
+      in
+      for a = 0 to n - 1 do
+        let c2 = cols.(a) in
+        if col_active.(c2) then
+          for bidx = 0 to n - 1 do
+            let c1 = cols.(bidx) in
+            if
+              c1 <> c2 && col_active.(c2) && col_active.(c1)
+              && counts.(bidx) <= counts.(a)
+            then
+              (* rows(c1) ⊆ rows(c2): covering c1 implies covering c2. *)
+              if
+                Bitvec.subset_masked (Matrix.col m c1) (Matrix.col m c2) ~mask:row_mask
+                && (counts.(bidx) < counts.(a) || c2 > c1)
+              then begin
+                drop_col c2;
+                incr cols_dominated;
+                changed := true
+              end
+          done
+      done;
+      !changed
+    end
+  in
+  let iterations = ref 0 in
+  let continue = ref true in
+  while !continue do
+    incr iterations;
+    let c1 = if config.essentials then pass_essentials () else false in
+    let c2 = if config.row_dominance then pass_row_dominance () else false in
+    let c3 =
+      if config.col_dominance then begin
+        let deduped = pass_col_dedup () in
+        pass_col_dominance () || deduped
+      end
+      else false
+    in
+    continue := c1 || c2 || c3
+  done;
+  (* Rows left with no active column contribute nothing. *)
+  List.iter
+    (fun i ->
+      if Bitvec.count_inter (Matrix.row m i) col_mask = 0 then drop_row i)
+    (active_rows ());
+  {
+    necessary = List.rev !necessary;
+    remaining_rows = active_rows ();
+    remaining_cols = active_cols ();
+    iterations = !iterations;
+    rows_dominated = !rows_dominated;
+    cols_dominated = !cols_dominated;
+  }
+
+let residual m result =
+  let rows = Array.of_list result.remaining_rows in
+  let cols = Array.of_list result.remaining_cols in
+  let col_index = Hashtbl.create (Array.length cols) in
+  Array.iteri (fun idx j -> Hashtbl.replace col_index j idx) cols;
+  let sub = Matrix.create ~rows:(Array.length rows) ~cols:(Array.length cols) in
+  Array.iteri
+    (fun ri i ->
+      Bitvec.iter_ones
+        (fun j ->
+          match Hashtbl.find_opt col_index j with
+          | Some cj -> Matrix.set sub ~row:ri ~col:cj
+          | None -> ())
+        (Matrix.row m i))
+    rows;
+  (sub, rows, cols)
+
+let cover_of m rows =
+  let u = Bitvec.create (Matrix.cols m) in
+  List.iter (fun i -> Bitvec.union_into ~into:u (Matrix.row m i)) rows;
+  u

@@ -1,0 +1,52 @@
+(** Detection-matrix reduction (Section 3.2).
+
+    Applies essentiality and dominance to fixpoint:
+
+    - {b essentiality}: a column covered by exactly one active row makes
+      that row necessary — it enters the solution, its covered columns
+      leave the instance;
+    - {b row dominance}: an active row whose (active-column) cover is a
+      subset of another active row's is removed;
+    - {b column dominance} (optional; classical but not named in the
+      paper — see DESIGN.md ablation #1): an active column whose covering
+      row set is a superset of another's is implied by it and removed.
+
+    The paper's "the reseeding solution only contains necessary triplets"
+    case is exactly [result.remaining_cols = \[\]]. *)
+
+open Reseed_util
+
+type config = {
+  row_dominance : bool;
+  col_dominance : bool;
+  essentials : bool;
+}
+
+val default_config : config
+
+type result = {
+  necessary : int list;  (** essential rows, in discovery order *)
+  remaining_rows : int list;  (** active rows of the reduced instance *)
+  remaining_cols : int list;  (** active columns of the reduced instance *)
+  iterations : int;  (** fixpoint sweeps executed *)
+  rows_dominated : int;
+  cols_dominated : int;
+}
+
+(** [run ?config ?row_weights m] reduces the instance.  Columns covered
+    by no row at all are dropped up front (they are unreachable for any
+    solution and reported by {!Matrix.uncoverable}).
+
+    With [row_weights] (for weighted objectives such as minimum test
+    length), row dominance additionally requires the dominating row to be
+    no more expensive — the condition under which dropping the dominated
+    row preserves the weighted optimum. *)
+val run : ?config:config -> ?row_weights:float array -> Matrix.t -> result
+
+(** [residual m result] builds the reduced sub-matrix (remaining rows ×
+    remaining columns) together with the maps from its indices back to
+    the original ones. *)
+val residual : Matrix.t -> result -> Matrix.t * int array * int array
+
+(** [cover_of m rows] is the union of the given rows' columns. *)
+val cover_of : Matrix.t -> int list -> Bitvec.t

@@ -1,0 +1,95 @@
+type method_ = Exact | Greedy_only | No_reduction_exact
+
+type stats = {
+  initial_rows : int;
+  initial_cols : int;
+  necessary : int list;
+  reduced_rows : int;
+  reduced_cols : int;
+  from_solver : int list;
+  reduction_iterations : int;
+  solver_nodes : int;
+  solver_optimal : bool;
+}
+
+type t = { rows : int list; stats : stats }
+
+let solve ?(method_ = Exact) ?reduce_config ?row_weights m =
+  match method_ with
+  | No_reduction_exact ->
+      (* Uncoverable columns are unreachable for any solution: mask them
+         off before handing the instance to the strict ILP solver. *)
+      let m =
+        match Matrix.uncoverable m with
+        | [] -> m
+        | dead ->
+            let dead = List.sort_uniq compare dead in
+            let keep =
+              List.filter
+                (fun j -> not (List.mem j dead))
+                (List.init (Matrix.cols m) Fun.id)
+            in
+            let sub = Matrix.create ~rows:(Matrix.rows m) ~cols:(List.length keep) in
+            List.iteri
+              (fun j' j ->
+                Reseed_util.Bitvec.iter_ones
+                  (fun i -> Matrix.set sub ~row:i ~col:j')
+                  (Matrix.col m j))
+              keep;
+            sub
+      in
+      let r = Ilp.solve ?weights:row_weights m in
+      {
+        rows = r.Ilp.selected;
+        stats =
+          {
+            initial_rows = Matrix.rows m;
+            initial_cols = Matrix.cols m;
+            necessary = [];
+            reduced_rows = Matrix.rows m;
+            reduced_cols = Matrix.cols m;
+            from_solver = r.Ilp.selected;
+            reduction_iterations = 0;
+            solver_nodes = r.Ilp.nodes_explored;
+            solver_optimal = r.Ilp.optimal;
+          };
+      }
+  | Exact | Greedy_only ->
+      let red = Reduce.run ?config:reduce_config ?row_weights m in
+      let residual, row_map, _col_map = Reduce.residual m red in
+      let from_solver, nodes, optimal =
+        if Matrix.rows residual = 0 || Matrix.cols residual = 0 then ([], 0, true)
+        else
+          match method_ with
+          | Greedy_only ->
+              let picks = Greedy.solve residual in
+              (List.map (fun ri -> row_map.(ri)) picks, 0, false)
+          | Exact | No_reduction_exact ->
+              let weights =
+                Option.map
+                  (fun w -> Array.map (fun ri -> w.(ri)) row_map)
+                  row_weights
+              in
+              let r = Ilp.solve ?weights residual in
+              (List.map (fun ri -> row_map.(ri)) r.Ilp.selected, r.Ilp.nodes_explored, r.Ilp.optimal)
+      in
+      let rows = List.sort_uniq compare (red.Reduce.necessary @ from_solver) in
+      {
+        rows;
+        stats =
+          {
+            initial_rows = Matrix.rows m;
+            initial_cols = Matrix.cols m;
+            necessary = red.Reduce.necessary;
+            reduced_rows = Matrix.rows residual;
+            reduced_cols = Matrix.cols residual;
+            from_solver;
+            reduction_iterations = red.Reduce.iterations;
+            solver_nodes = nodes;
+            solver_optimal = optimal;
+          };
+      }
+
+let verify m t = Matrix.covers m ~rows_subset:t.rows
+
+let cardinality t = List.length t.rows

@@ -1,0 +1,43 @@
+(** End-to-end covering solutions over a Detection Matrix:
+    reduce → exactly solve the residual → recombine (Section 3.3).
+
+    [solve] is the complete Matrix Reducer + LINGO pipeline of Figure 1:
+    the returned rows are the union of the necessary triplets found by
+    reduction and the rows chosen by the exact solver on the reduced
+    matrix. *)
+
+type method_ = Exact | Greedy_only | No_reduction_exact
+
+type stats = {
+  initial_rows : int;
+  initial_cols : int;
+  necessary : int list;  (** rows forced by essentiality *)
+  reduced_rows : int;  (** residual matrix size after reduction *)
+  reduced_cols : int;
+  from_solver : int list;  (** rows added by the end-game solver *)
+  reduction_iterations : int;
+  solver_nodes : int;
+  solver_optimal : bool;
+}
+
+type t = { rows : int list;  (** the final solution N, ascending *) stats : stats }
+
+(** [solve ?method_ ?reduce_config ?row_weights m] — [method_] defaults
+    to [Exact].  [Greedy_only] replaces the exact end-game with greedy
+    (ablation #2); [No_reduction_exact] skips reduction entirely
+    (ablation showing why the paper reduces first).
+
+    [row_weights] switches the exact objective from cardinality to
+    weighted cost (e.g. estimated per-triplet test length); reduction
+    honours the weights, the greedy method ignores them. *)
+val solve :
+  ?method_:method_ ->
+  ?reduce_config:Reduce.config ->
+  ?row_weights:float array ->
+  Matrix.t ->
+  t
+
+(** [verify m t] — the solution covers every coverable column. *)
+val verify : Matrix.t -> t -> bool
+
+val cardinality : t -> int

@@ -1,0 +1,1 @@
+lib/sim/logic_sim.ml: Array Circuit Gate List Reseed_netlist

@@ -1,0 +1,96 @@
+open Reseed_netlist
+
+let block_width = 62
+
+type block = { width : int; per_input : int array }
+
+let valid_mask width =
+  if width < 1 || width > block_width then invalid_arg "Logic_sim.valid_mask";
+  if width = block_width then max_int else (1 lsl width) - 1
+
+let pack c patterns =
+  let count = Array.length patterns in
+  if count < 1 || count > block_width then
+    invalid_arg "Logic_sim.pack: block must hold 1..62 patterns";
+  let n = Circuit.input_count c in
+  let per_input = Array.make n 0 in
+  Array.iteri
+    (fun k pattern ->
+      if Array.length pattern <> n then
+        invalid_arg "Logic_sim.pack: pattern width mismatch";
+      for i = 0 to n - 1 do
+        if pattern.(i) then per_input.(i) <- per_input.(i) lor (1 lsl k)
+      done)
+    patterns;
+  { width = count; per_input }
+
+let pack_all c patterns =
+  let total = Array.length patterns in
+  let rec go start acc =
+    if start >= total then List.rev acc
+    else
+      let len = min block_width (total - start) in
+      go (start + len) (pack c (Array.sub patterns start len) :: acc)
+  in
+  go 0 []
+
+(* Evaluate one gate directly against the node-value array, avoiding any
+   per-gate allocation in the hot loop. *)
+let eval_node (values : int array) kind (fanins : int array) =
+  let full = max_int in
+  let fold op seed =
+    let acc = ref seed in
+    for j = 0 to Array.length fanins - 1 do
+      acc := op !acc values.(fanins.(j))
+    done;
+    !acc
+  in
+  match kind with
+  | Gate.Input -> invalid_arg "Logic_sim.eval_node: Input"
+  | Gate.Buf -> values.(fanins.(0))
+  | Gate.Not -> lnot values.(fanins.(0)) land full
+  | Gate.And -> fold ( land ) full
+  | Gate.Nand -> lnot (fold ( land ) full) land full
+  | Gate.Or -> fold ( lor ) 0
+  | Gate.Nor -> lnot (fold ( lor ) 0) land full
+  | Gate.Xor -> fold ( lxor ) 0
+  | Gate.Xnor -> lnot (fold ( lxor ) 0) land full
+  | Gate.Const0 -> 0
+  | Gate.Const1 -> full
+
+let simulate c block =
+  let n = Circuit.node_count c in
+  let values = Array.make n 0 in
+  let pi = ref 0 in
+  for i = 0 to n - 1 do
+    let node = c.Circuit.nodes.(i) in
+    match node.Circuit.kind with
+    | Gate.Input ->
+        values.(i) <- block.per_input.(!pi);
+        incr pi
+    | kind -> values.(i) <- eval_node values kind node.Circuit.fanins
+  done;
+  values
+
+let outputs c values = Array.map (fun o -> values.(o)) c.Circuit.outputs
+
+let simulate_bool c pattern =
+  if Array.length pattern <> Circuit.input_count c then
+    invalid_arg "Logic_sim.simulate_bool: pattern width mismatch";
+  let n = Circuit.node_count c in
+  let values = Array.make n false in
+  let pi = ref 0 in
+  for i = 0 to n - 1 do
+    let node = c.Circuit.nodes.(i) in
+    match node.Circuit.kind with
+    | Gate.Input ->
+        values.(i) <- pattern.(!pi);
+        incr pi
+    | kind ->
+        values.(i) <- Gate.eval kind (Array.map (fun f -> values.(f)) node.Circuit.fanins)
+  done;
+  values
+
+let output_response c pattern =
+  let values = simulate_bool c pattern in
+  Array.map (fun o -> values.(o)) c.Circuit.outputs

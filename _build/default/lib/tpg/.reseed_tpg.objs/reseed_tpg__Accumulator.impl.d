@@ -1,0 +1,1 @@
+lib/tpg/accumulator.ml: Reseed_util Tpg Word

@@ -1,0 +1,1 @@
+lib/tpg/accumulator.mli: Tpg

@@ -1,0 +1,1 @@
+lib/tpg/lfsr.ml: List Reseed_util Tpg Word

@@ -1,0 +1,1 @@
+lib/tpg/lfsr.mli: Tpg

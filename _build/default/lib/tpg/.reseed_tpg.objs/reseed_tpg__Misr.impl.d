@@ -1,0 +1,1 @@
+lib/tpg/misr.ml: Array Lfsr List Reseed_util Word

@@ -1,0 +1,1 @@
+lib/tpg/misr.mli: Reseed_util Word

@@ -1,0 +1,1 @@
+lib/tpg/tpg.ml: Array Fun Hashtbl Reseed_util Word

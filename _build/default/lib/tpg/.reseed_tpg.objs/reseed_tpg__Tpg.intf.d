@@ -1,0 +1,1 @@
+lib/tpg/tpg.mli: Reseed_util Word

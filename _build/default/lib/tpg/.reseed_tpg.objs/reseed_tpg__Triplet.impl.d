@@ -1,0 +1,1 @@
+lib/tpg/triplet.ml: Format Reseed_util Tpg Word

@@ -1,0 +1,1 @@
+lib/tpg/triplet.mli: Format Reseed_util Tpg Word

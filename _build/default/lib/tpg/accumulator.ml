@@ -1,0 +1,16 @@
+open Reseed_util
+
+let adder width =
+  Tpg.make ~name:"adder" ~width (fun ~state ~operand -> Word.add state operand)
+
+let subtracter width =
+  Tpg.make ~name:"subtracter" ~width (fun ~state ~operand -> Word.sub state operand)
+
+let multiplier width =
+  (* An even multiplier operand collapses the accumulator orbit onto
+     multiples of growing powers of two; force σ odd. *)
+  let make_odd w = Word.set_bit w 0 true in
+  Tpg.make ~name:"multiplier" ~width ~fix_operand:make_odd (fun ~state ~operand ->
+      Word.mul state operand)
+
+let paper_tpgs width = [ adder width; multiplier width; subtracter width ]

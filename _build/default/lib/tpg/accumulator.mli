@@ -1,0 +1,21 @@
+(** Accumulator-based TPGs — the three modules evaluated in the paper.
+
+    An accumulator repeatedly combines its state register with a held
+    operand through an arithmetic unit:
+
+    - adder:       [state <- (state + operand) mod 2^n]
+    - subtracter:  [state <- (state - operand) mod 2^n]
+    - multiplier:  [state <- (state * operand) mod 2^n]
+
+    Adder/subtracter accumulators sweep arithmetic progressions through
+    the pattern space (Rajski/Tyszer arithmetic BIST); the multiplier
+    walks multiplicative orbits.  All arithmetic is exact modular
+    arithmetic over {!Reseed_util.Word}. *)
+
+val adder : int -> Tpg.t
+val subtracter : int -> Tpg.t
+val multiplier : int -> Tpg.t
+
+(** The paper's TPG set, Table 1 column order: adder, multiplier,
+    subtracter — instantiated at a given register width. *)
+val paper_tpgs : int -> Tpg.t list

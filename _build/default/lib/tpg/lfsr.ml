@@ -1,0 +1,42 @@
+open Reseed_util
+
+(* Parity of the bits of [w] selected by [mask]. *)
+let masked_parity state mask =
+  Word.popcount (Word.logand state mask) land 1 = 1
+
+let shift_in state bit =
+  let shifted = Word.shift_left state 1 in
+  Word.set_bit shifted 0 bit
+
+let fibonacci width taps =
+  if taps = [] then invalid_arg "Lfsr.fibonacci: empty tap list";
+  List.iter
+    (fun t ->
+      if t < 0 || t >= width then invalid_arg "Lfsr.fibonacci: tap out of range")
+    taps;
+  let mask =
+    List.fold_left (fun acc t -> Word.set_bit acc t true) (Word.zero width) taps
+  in
+  Tpg.make ~name:"lfsr" ~width (fun ~state ~operand:_ ->
+      shift_in state (masked_parity state mask))
+
+let multi_polynomial width =
+  Tpg.make ~name:"mp-lfsr" ~width (fun ~state ~operand ->
+      shift_in state (masked_parity state operand))
+
+(* Tap tables for primitive polynomials at common widths (Xilinx XAPP052
+   convention, converted to 0-based bit positions). *)
+let default_taps width =
+  match width with
+  | 2 -> [ 1; 0 ]
+  | 3 -> [ 2; 1 ]
+  | 4 -> [ 3; 2 ]
+  | 5 -> [ 4; 2 ]
+  | 6 -> [ 5; 4 ]
+  | 7 -> [ 6; 5 ]
+  | 8 -> [ 7; 5; 4; 3 ]
+  | 16 -> [ 15; 14; 12; 3 ]
+  | 24 -> [ 23; 22; 21; 16 ]
+  | 32 -> [ 31; 21; 1; 0 ]
+  | _ when width >= 2 -> [ width - 1; 0 ]
+  | _ -> invalid_arg "Lfsr.default_taps: width must be >= 2"

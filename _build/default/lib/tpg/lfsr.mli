@@ -1,0 +1,25 @@
+(** LFSR-based TPG.
+
+    A Fibonacci linear feedback shift register whose feedback polynomial
+    is given by its tap positions.  Included to demonstrate that the set
+    covering formulation is TPG-agnostic (classical reseeding à la
+    Hellebrand et al. uses exactly this structure); the "operand" word of
+    the generic {!Tpg.t} interface selects the feedback polynomial, so a
+    multiple-polynomial LFSR is one TPG whose operand varies per
+    triplet. *)
+
+(** [fibonacci width taps] — [taps] are bit positions (0-based, < width)
+    XORed into the bit shifted in.  Raises [Invalid_argument] on an empty
+    or out-of-range tap list. *)
+val fibonacci : int -> int list -> Tpg.t
+
+(** [multi_polynomial width] — a TPG whose operand word encodes the tap
+    mask: state is shifted left by one and the inserted bit is the parity
+    of [state land operand].  Seeding with operand [p] runs the LFSR with
+    polynomial mask [p], so one hardware module provides a whole family
+    of sequences. *)
+val multi_polynomial : int -> Tpg.t
+
+(** [default_taps width] is a tap set giving a long (often maximal)
+    period for common widths; falls back to [[width-1; 0]] otherwise. *)
+val default_taps : int -> int list

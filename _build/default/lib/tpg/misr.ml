@@ -1,0 +1,42 @@
+open Reseed_util
+
+type t = { width : int; poly : Word.t }
+
+let create ~width ?taps () =
+  if width < 2 then invalid_arg "Misr.create: width must be >= 2";
+  let taps = match taps with Some t -> t | None -> Lfsr.default_taps width in
+  if taps = [] then invalid_arg "Misr.create: empty tap list";
+  let poly =
+    List.fold_left
+      (fun acc tap ->
+        if tap < 0 || tap >= width then invalid_arg "Misr.create: tap out of range";
+        Word.set_bit acc tap true)
+      (Word.zero width) taps
+  in
+  { width; poly }
+
+let width m = m.width
+
+let step m ~state ~response =
+  if Word.width state <> m.width || Word.width response <> m.width then
+    invalid_arg "Misr.step: width mismatch";
+  let carry = Word.get_bit state (m.width - 1) in
+  let shifted = Word.shift_left state 1 in
+  let fed = if carry then Word.logxor shifted m.poly else shifted in
+  Word.logxor fed response
+
+let signature m ?initial responses =
+  let state = match initial with Some s -> s | None -> Word.zero m.width in
+  List.fold_left (fun state response -> step m ~state ~response) state responses
+
+(* Pad or truncate a PO bit vector to the register width. *)
+let word_of_bits m bits =
+  let w = ref (Word.zero m.width) in
+  Array.iteri (fun i b -> if b && i < m.width then w := Word.set_bit !w i true) bits;
+  !w
+
+let signature_of_bits m responses =
+  signature m (List.map (word_of_bits m) (Array.to_list responses))
+
+let aliasing_probability m =
+  if m.width >= 60 then 0.0 else 1.0 /. float_of_int (1 lsl m.width)

@@ -1,0 +1,39 @@
+(** Multiple-input signature register (MISR) — BIST response compaction.
+
+    A Functional BIST architecture needs both a pattern source (the TPG)
+    and a response evaluator; in practice the UUT's outputs are folded
+    into a signature by a MISR and only the final signature is compared
+    against the fault-free reference.  This module models a standard
+    Fibonacci-style MISR: each cycle the state shifts left by one, the
+    feedback polynomial is XORed in when the bit shifted out is 1, and
+    the response word is XORed on top.
+
+    A fault escapes detection only through *aliasing* — a faulty response
+    stream compressing to the fault-free signature — with probability
+    approaching [2^-width] for effectively random error streams. *)
+
+open Reseed_util
+
+type t
+
+(** [create ~width ?taps ()] — [taps] is the feedback polynomial (bit
+    positions XORed in on overflow), defaulting to {!Lfsr.default_taps}.
+    [width] must be at least 2. *)
+val create : width:int -> ?taps:int list -> unit -> t
+
+val width : t -> int
+
+(** [step misr ~state ~response] is one compaction cycle. *)
+val step : t -> state:Word.t -> response:Word.t -> Word.t
+
+(** [signature misr ?initial responses] folds a response stream (first
+    element first) into a signature.  [initial] defaults to zero. *)
+val signature : t -> ?initial:Word.t -> Word.t list -> Word.t
+
+(** [signature_of_bits misr responses] — same, over PO bit vectors
+    (LSB-first, padded/truncated to the MISR width). *)
+val signature_of_bits : t -> bool array array -> Word.t
+
+(** [aliasing_probability misr] is the asymptotic escape probability
+    [2^-width] for a random error stream (clamped to avoid underflow). *)
+val aliasing_probability : t -> float

@@ -1,0 +1,27 @@
+open Reseed_util
+
+type t = { seed : Word.t; operand : Word.t; cycles : int }
+
+let make ~seed ~operand ~cycles =
+  if Word.width seed <> Word.width operand then
+    invalid_arg "Triplet.make: seed/operand width mismatch";
+  if cycles < 1 then invalid_arg "Triplet.make: cycles must be >= 1";
+  { seed; operand; cycles }
+
+let patterns tpg t = Tpg.run_bits tpg ~seed:t.seed ~operand:t.operand ~cycles:t.cycles
+
+let truncate t cycles =
+  if cycles < 1 || cycles > t.cycles then invalid_arg "Triplet.truncate: bad cycle count";
+  { t with cycles }
+
+let storage_bits t =
+  let counter_bits =
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    bits t.cycles 0
+  in
+  Word.width t.seed + Word.width t.operand + counter_bits
+
+let equal a b = Word.equal a.seed b.seed && Word.equal a.operand b.operand && a.cycles = b.cycles
+
+let pp ppf t =
+  Format.fprintf ppf "(δ=%a, σ=%a, T=%d)" Word.pp t.seed Word.pp t.operand t.cycles

@@ -1,0 +1,1 @@
+lib/util/word.ml: Array Bitvec Buffer Format Rng Stdlib String

@@ -1,0 +1,53 @@
+(* Splitmix64 over Int64, truncated to the 62 non-negative bits of a native
+   int on output.  Reference: Steele, Lea & Flood, OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let next64 t =
+  t.state <- Int64.add t.state gamma;
+  mix t.state
+
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let split t = { state = mix (next64 t) }
+
+let bits t n =
+  if n < 0 || n > 62 then invalid_arg "Rng.bits: n must be in [0, 62]";
+  if n = 0 then 0 else next t lsr (62 - n)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling for exact uniformity. *)
+  let limit = max_int - (max_int mod bound) in
+  let rec draw () =
+    let x = next t in
+    if x >= limit then draw () else x mod bound
+  in
+  draw ()
+
+let bool t = next t land 1 = 1
+
+let float t = float_of_int (next t) /. 4611686018427387904.0 (* 2^62 *)
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

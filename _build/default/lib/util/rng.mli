@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the library (random operands, synthetic
+    circuit generation, genetic algorithm, qcheck workloads) draws from an
+    explicit [Rng.t] so that experiments are reproducible from a single
+    seed.  The global [Random] state is never used. *)
+
+type t
+
+(** [create seed] is a fresh generator; equal seeds yield equal streams. *)
+val create : int -> t
+
+(** [copy t] snapshots the generator state. *)
+val copy : t -> t
+
+(** [split t] derives an independent generator and advances [t]. *)
+val split : t -> t
+
+(** [next t] is the next raw 62-bit non-negative output. *)
+val next : t -> int
+
+(** [bits t n] is a uniform [n]-bit non-negative int, [0 <= n <= 62]. *)
+val bits : t -> int -> int
+
+(** [int t bound] is uniform in [\[0, bound)]; [bound > 0]. *)
+val int : t -> int -> int
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [pick t arr] is a uniformly chosen element of the non-empty [arr]. *)
+val pick : t -> 'a array -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

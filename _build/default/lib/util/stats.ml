@@ -1,0 +1,45 @@
+let require_non_empty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | xs -> xs
+
+let mean xs =
+  let xs = require_non_empty "Stats.mean" xs in
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  let xs = require_non_empty "Stats.stddev" xs in
+  let m = mean xs in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+    /. float_of_int (List.length xs)
+  in
+  sqrt var
+
+let sorted xs = List.sort Float.compare xs
+
+let median xs =
+  let xs = require_non_empty "Stats.median" xs in
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.
+
+let percentile p xs =
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let xs = require_non_empty "Stats.percentile" xs in
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  arr.(max 0 (min (n - 1) (rank - 1)))
+
+let minimum xs =
+  let xs = require_non_empty "Stats.minimum" xs in
+  List.fold_left Float.min Float.infinity xs
+
+let maximum xs =
+  let xs = require_non_empty "Stats.maximum" xs in
+  List.fold_left Float.max Float.neg_infinity xs
+
+let ratio a b = if b = 0. then Float.nan else a /. b
+
+let pct part whole =
+  if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole

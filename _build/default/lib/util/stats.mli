@@ -1,0 +1,24 @@
+(** Small numeric helpers for experiment reporting. *)
+
+(** [mean xs] of a non-empty list. *)
+val mean : float list -> float
+
+(** [stddev xs] is the population standard deviation of a non-empty list. *)
+val stddev : float list -> float
+
+(** [median xs] of a non-empty list. *)
+val median : float list -> float
+
+(** [percentile p xs] for [p] in [\[0, 100\]], nearest-rank on a sorted copy. *)
+val percentile : float -> float list -> float
+
+(** [minimum xs] / [maximum xs] of a non-empty list. *)
+val minimum : float list -> float
+
+val maximum : float list -> float
+
+(** [ratio a b] is [a /. b], or [nan] when [b = 0.]. *)
+val ratio : float -> float -> float
+
+(** [pct part whole] is [100 * part / whole], or [0.] when [whole = 0.]. *)
+val pct : int -> int -> float

@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array Atpg Bitvec Circuit Fault_sim Library List Reseed_atpg Reseed_fault Reseed_netlist Reseed_util

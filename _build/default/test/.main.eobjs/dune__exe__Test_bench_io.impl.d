@@ -1,0 +1,1 @@
+test/test_bench_io.ml: Alcotest Array Bench_io Circuit Filename Fun Generator Library Reseed_netlist Reseed_sim Reseed_util Sys

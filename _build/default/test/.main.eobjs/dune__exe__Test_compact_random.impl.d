@@ -1,0 +1,1 @@
+test/test_compact_random.ml: Alcotest Array Bitvec Circuit Compact Fault Fault_sim Library Random_gen Reseed_atpg Reseed_fault Reseed_netlist Reseed_util Rng

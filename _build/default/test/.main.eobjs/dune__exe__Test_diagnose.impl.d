@@ -1,0 +1,1 @@
+test/test_diagnose.ml: Alcotest Array Bitvec Diagnose Fault Fault_sim Library List Reseed_fault Reseed_netlist Reseed_util

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Circuit Fault Fault_sim Gate Library List Reseed_atpg Reseed_fault Reseed_netlist Reseed_util

@@ -1,0 +1,1 @@
+test/test_fault_sim.ml: Alcotest Array Bitvec Circuit Fault Fault_sim Gate Generator Library List QCheck QCheck_alcotest Reseed_fault Reseed_netlist Reseed_sim Reseed_util Rng

@@ -1,0 +1,1 @@
+test/test_ga_gatsby.ml: Alcotest Array Bitvec Float Ga Gatsby List Reseed_fault Reseed_gatsby Reseed_netlist Reseed_tpg Reseed_util Rng

@@ -1,0 +1,1 @@
+test/test_gate.ml: Alcotest Array Gate List Reseed_netlist

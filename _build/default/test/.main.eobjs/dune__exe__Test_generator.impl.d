@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Array Bench_io Circuit Gate Generator Library List Reseed_netlist Reseed_sim Reseed_util Rng

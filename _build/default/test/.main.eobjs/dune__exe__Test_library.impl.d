@@ -1,0 +1,1 @@
+test/test_library.ml: Alcotest Array Circuit Gate Library List Logic_sim Reseed_netlist Reseed_sim Reseed_util

@@ -1,0 +1,1 @@
+test/test_logic_sim.ml: Alcotest Array Generator Library List Logic_sim Reseed_netlist Reseed_sim Reseed_util Rng

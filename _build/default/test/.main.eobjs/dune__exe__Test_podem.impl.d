@@ -1,0 +1,1 @@
+test/test_podem.ml: Alcotest Array Bitvec Circuit Fault Fault_sim Fun Gate Library List Podem Printf Reseed_atpg Reseed_fault Reseed_netlist Reseed_util Rng

@@ -1,0 +1,1 @@
+test/test_satpg.ml: Alcotest Array Circuit Fault Fun Gate Generator Library List Podem Printf Reseed_atpg Reseed_fault Reseed_netlist Reseed_util Rng Satpg Testability

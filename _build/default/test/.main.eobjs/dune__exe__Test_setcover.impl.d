@@ -1,0 +1,1 @@
+test/test_setcover.ml: Alcotest Array Bitvec Greedy Ilp List Matrix QCheck QCheck_alcotest Reduce Reseed_setcover Reseed_util Rng Solution

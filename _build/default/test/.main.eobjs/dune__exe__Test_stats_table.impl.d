@@ -1,0 +1,1 @@
+test/test_stats_table.ml: Alcotest Float Reseed_util Stats String Table

@@ -1,0 +1,1 @@
+test/test_ternary.ml: Alcotest Array Circuit Fault Gate Library Reseed_atpg Reseed_fault Reseed_netlist Reseed_sim Ternary

@@ -1,0 +1,1 @@
+test/test_testability.ml: Alcotest Array Circuit Gate Library List Printf Reseed_atpg Reseed_netlist Testability

@@ -1,0 +1,1 @@
+test/test_tpg.ml: Accumulator Alcotest Array Lfsr List Option QCheck QCheck_alcotest Reseed_tpg Reseed_util Tpg Triplet Word

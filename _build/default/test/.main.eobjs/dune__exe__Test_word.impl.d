@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest Gen Option QCheck QCheck_alcotest Reseed_util Rng Word

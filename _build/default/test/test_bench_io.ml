@@ -1,0 +1,111 @@
+open Reseed_netlist
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample =
+  {|# comment line
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)   # trailing comment
+|}
+
+let test_parse_simple () =
+  let c = Bench_io.parse ~name:"t" sample in
+  check_int "inputs" 2 (Circuit.input_count c);
+  check_int "outputs" 1 (Circuit.output_count c);
+  check_int "gates" 1 (Circuit.gate_count c);
+  Circuit.validate c
+
+let test_parse_out_of_order () =
+  (* definitions may reference nets defined later in the file *)
+  let src = "INPUT(a)\nOUTPUT(z)\nz = NOT(m)\nm = BUF(a)\n" in
+  let c = Bench_io.parse ~name:"ooo" src in
+  check_int "gates" 2 (Circuit.gate_count c);
+  Circuit.validate c
+
+let test_parse_c17 () =
+  let c = Library.c17 () in
+  check_int "c17 inputs" 5 (Circuit.input_count c);
+  check_int "c17 outputs" 2 (Circuit.output_count c);
+  check_int "c17 gates" 6 (Circuit.gate_count c);
+  check_int "c17 depth" 3 (Circuit.max_level c)
+
+let expect_parse_error src =
+  try
+    ignore (Bench_io.parse ~name:"bad" src);
+    false
+  with Bench_io.Parse_error _ -> true
+
+let test_errors () =
+  check "undefined net" true (expect_parse_error "INPUT(a)\nOUTPUT(y)\ny = NOT(q)\n");
+  check "loop" true
+    (expect_parse_error "INPUT(a)\nOUTPUT(y)\ny = NOT(z)\nz = NOT(y)\n");
+  check "dff rejected" true
+    (expect_parse_error "INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n");
+  check "double definition" true
+    (expect_parse_error "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n");
+  check "input also defined" true
+    (expect_parse_error "INPUT(a)\nOUTPUT(a)\na = NOT(a)\n");
+  check "unknown gate" true
+    (expect_parse_error "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n");
+  check "missing paren" true (expect_parse_error "INPUT(a\n");
+  check "unknown decl" true (expect_parse_error "WIBBLE(a)\n");
+  check "double OUTPUT" true
+    (expect_parse_error "INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n")
+
+let test_roundtrip () =
+  let c = Library.c17 () in
+  let c2 = Bench_io.parse ~name:"c17" (Bench_io.to_string c) in
+  check_int "same inputs" (Circuit.input_count c) (Circuit.input_count c2);
+  check_int "same gates" (Circuit.gate_count c) (Circuit.gate_count c2);
+  (* behavioural equivalence on all 32 input patterns *)
+  let same = ref true in
+  for p = 0 to 31 do
+    let pat = Array.init 5 (fun i -> p lsr i land 1 = 1) in
+    if
+      Reseed_sim.Logic_sim.output_response c pat
+      <> Reseed_sim.Logic_sim.output_response c2 pat
+    then same := false
+  done;
+  check "responses equal" true !same
+
+let test_roundtrip_generated () =
+  let spec = Generator.default_spec "rt" ~inputs:12 ~outputs:4 ~gates:80 in
+  let c = Generator.generate spec in
+  let c2 = Bench_io.parse ~name:"rt" (Bench_io.to_string c) in
+  check_int "same node count" (Circuit.node_count c) (Circuit.node_count c2);
+  let rng = Reseed_util.Rng.create 1 in
+  let same = ref true in
+  for _ = 1 to 64 do
+    let pat = Array.init 12 (fun _ -> Reseed_util.Rng.bool rng) in
+    if
+      Reseed_sim.Logic_sim.output_response c pat
+      <> Reseed_sim.Logic_sim.output_response c2 pat
+    then same := false
+  done;
+  check "generated roundtrip equal" true !same
+
+let test_file_io () =
+  let path = Filename.temp_file "reseed_test" ".bench" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bench_io.write_file path (Library.c17 ());
+      let c = Bench_io.parse_file path in
+      check_int "parsed gates" 6 (Circuit.gate_count c))
+
+let suite =
+  [
+    ( "bench_io",
+      [
+        Alcotest.test_case "parse simple" `Quick test_parse_simple;
+        Alcotest.test_case "parse out-of-order defs" `Quick test_parse_out_of_order;
+        Alcotest.test_case "parse embedded c17" `Quick test_parse_c17;
+        Alcotest.test_case "malformed inputs rejected" `Quick test_errors;
+        Alcotest.test_case "c17 write/parse roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "generated circuit roundtrip" `Quick test_roundtrip_generated;
+        Alcotest.test_case "file io" `Quick test_file_io;
+      ] );
+  ]

@@ -1,0 +1,129 @@
+open Reseed_netlist
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny () =
+  let b = Circuit.Builder.create "tiny" in
+  let a = Circuit.Builder.add_input b "a" in
+  let bb = Circuit.Builder.add_input b "b" in
+  let g1 = Circuit.Builder.add_gate b Gate.And [ a; bb ] "g1" in
+  let g2 = Circuit.Builder.add_gate b Gate.Not [ g1 ] "g2" in
+  Circuit.Builder.mark_output b g2;
+  Circuit.Builder.finalize b
+
+let test_basic_construction () =
+  let c = tiny () in
+  check_int "nodes" 4 (Circuit.node_count c);
+  check_int "inputs" 2 (Circuit.input_count c);
+  check_int "outputs" 1 (Circuit.output_count c);
+  check_int "gates" 2 (Circuit.gate_count c);
+  check_int "depth" 2 (Circuit.max_level c);
+  Circuit.validate c
+
+let test_find () =
+  let c = tiny () in
+  check_int "find g1" 2 (Circuit.find c "g1");
+  Alcotest.check_raises "find missing" Not_found (fun () -> ignore (Circuit.find c "zzz"))
+
+let test_fanouts () =
+  let c = tiny () in
+  let a = Circuit.find c "a" in
+  check "a feeds g1" true (c.Circuit.fanouts.(a) = [| Circuit.find c "g1" |]);
+  check "g2 has no fanout" true (c.Circuit.fanouts.(Circuit.find c "g2") = [||])
+
+let test_cones () =
+  let c = tiny () in
+  let g2 = Circuit.find c "g2" in
+  let cone = Circuit.fanin_cone c [| g2 |] in
+  check_int "fanin cone covers all" 4 (Array.length cone);
+  let a = Circuit.find c "a" in
+  let fc = Circuit.fanout_cone c a in
+  check "fanout cone of a" true (fc = [| a; Circuit.find c "g1"; g2 |]);
+  check "output mask" true (Circuit.output_mask_of_cone c fc = [ 0 ])
+
+let test_duplicate_label_rejected () =
+  let b = Circuit.Builder.create "dup" in
+  let _ = Circuit.Builder.add_input b "x" in
+  Alcotest.check_raises "duplicate" (Failure "Builder(dup): duplicate label x")
+    (fun () -> ignore (Circuit.Builder.add_input b "x"))
+
+let test_bad_arity_rejected () =
+  let b = Circuit.Builder.create "bad" in
+  let x = Circuit.Builder.add_input b "x" in
+  check "not with 2 inputs rejected" true
+    (try
+       ignore (Circuit.Builder.add_gate b Gate.Not [ x; x ] "n");
+       false
+     with Failure _ -> true)
+
+let test_unknown_fanin_rejected () =
+  let b = Circuit.Builder.create "unk" in
+  let _ = Circuit.Builder.add_input b "x" in
+  check "forward ref rejected" true
+    (try
+       ignore (Circuit.Builder.add_gate b Gate.Not [ 99 ] "n");
+       false
+     with Failure _ -> true)
+
+let test_no_outputs_rejected () =
+  let b = Circuit.Builder.create "noout" in
+  let _ = Circuit.Builder.add_input b "x" in
+  check "no outputs" true
+    (try
+       ignore (Circuit.Builder.finalize b);
+       false
+     with Failure _ -> true)
+
+let test_no_inputs_rejected () =
+  let b = Circuit.Builder.create "noin" in
+  check "no inputs" true
+    (try
+       ignore (Circuit.Builder.finalize b);
+       false
+     with Failure _ -> true)
+
+let test_double_output_rejected () =
+  let b = Circuit.Builder.create "dblout" in
+  let x = Circuit.Builder.add_input b "x" in
+  Circuit.Builder.mark_output b x;
+  check "double mark" true
+    (try
+       Circuit.Builder.mark_output b x;
+       false
+     with Failure _ -> true)
+
+let test_output_can_be_input () =
+  let b = Circuit.Builder.create "passthru" in
+  let x = Circuit.Builder.add_input b "x" in
+  let y = Circuit.Builder.add_input b "y" in
+  let g = Circuit.Builder.add_gate b Gate.Or [ x; y ] "g" in
+  Circuit.Builder.mark_output b x;
+  Circuit.Builder.mark_output b g;
+  let c = Circuit.Builder.finalize b in
+  check_int "two outputs" 2 (Circuit.output_count c)
+
+let test_levels () =
+  let c = Library.ripple_adder 4 in
+  Circuit.validate c;
+  check "depth grows with width" true
+    (Circuit.max_level (Library.ripple_adder 8) > Circuit.max_level c)
+
+let suite =
+  [
+    ( "circuit",
+      [
+        Alcotest.test_case "basic construction" `Quick test_basic_construction;
+        Alcotest.test_case "find by label" `Quick test_find;
+        Alcotest.test_case "fanouts" `Quick test_fanouts;
+        Alcotest.test_case "cones" `Quick test_cones;
+        Alcotest.test_case "duplicate label rejected" `Quick test_duplicate_label_rejected;
+        Alcotest.test_case "bad arity rejected" `Quick test_bad_arity_rejected;
+        Alcotest.test_case "unknown fanin rejected" `Quick test_unknown_fanin_rejected;
+        Alcotest.test_case "no outputs rejected" `Quick test_no_outputs_rejected;
+        Alcotest.test_case "no inputs rejected" `Quick test_no_inputs_rejected;
+        Alcotest.test_case "double output rejected" `Quick test_double_output_rejected;
+        Alcotest.test_case "output can be an input" `Quick test_output_can_be_input;
+        Alcotest.test_case "levels" `Quick test_levels;
+      ] );
+  ]

@@ -1,0 +1,92 @@
+open Reseed_fault
+open Reseed_netlist
+open Reseed_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let setup () =
+  let c = Library.c17 () in
+  let sim = Fault_sim.create c (Fault.all c) in
+  let patterns = Array.init 32 (fun p -> Array.init 5 (fun i -> p lsr i land 1 = 1)) in
+  (sim, Diagnose.build sim patterns)
+
+let test_dictionary_shape () =
+  let sim, d = setup () in
+  check_int "tests" 32 (Diagnose.test_count d);
+  check_int "faults" (Fault_sim.fault_count sim) (Diagnose.fault_count d);
+  check "resolution positive" true (Diagnose.resolution d > 0);
+  check "resolution <= faults" true (Diagnose.resolution d <= Diagnose.fault_count d)
+
+let test_injected_fault_diagnosed_first () =
+  let _, d = setup () in
+  (* inject each fault: its own class must rank first at distance 0 *)
+  for fi = 0 to Diagnose.fault_count d - 1 do
+    let observed = Diagnose.observe_fault d fi in
+    if not (Bitvec.is_empty observed) then begin
+      match Diagnose.diagnose d ~observed () with
+      | [] -> Alcotest.fail "no candidates"
+      | best :: _ ->
+          if best.Diagnose.distance <> 0 then Alcotest.fail "nonzero distance";
+          if not (List.mem fi best.Diagnose.faults) then
+            Alcotest.failf "fault %d not in the top class" fi
+    end
+  done
+
+let test_equivalent_faults_grouped () =
+  let _, d = setup () in
+  (* under the exhaustive test set, equal signatures = equivalent faults;
+     each class lists all of them together *)
+  let observed = Diagnose.observe_fault d 0 in
+  if not (Bitvec.is_empty observed) then begin
+    match Diagnose.diagnose d ~observed () with
+    | best :: _ ->
+        List.iter
+          (fun fj ->
+            check "same signature in class" true
+              (Bitvec.equal (Diagnose.signature d fj) (Diagnose.signature d 0)))
+          best.Diagnose.faults
+    | [] -> Alcotest.fail "no candidates"
+  end
+
+let test_noisy_observation_ranks_close () =
+  let _, d = setup () in
+  (* flip one bit of a real signature: the true class should still rank
+     within distance 1 at the top *)
+  let observed = Diagnose.observe_fault d 3 in
+  if Bitvec.count observed > 1 then begin
+    (match Bitvec.first_one observed with
+    | Some b -> Bitvec.clear observed b
+    | None -> ());
+    match Diagnose.diagnose d ~observed () with
+    | best :: _ -> check "top candidate within distance 1" true (best.Diagnose.distance <= 1)
+    | [] -> Alcotest.fail "no candidates"
+  end
+
+let test_candidate_cap () =
+  let _, d = setup () in
+  let observed = Bitvec.create (Diagnose.test_count d) in
+  Bitvec.set observed 0;
+  let c = Diagnose.diagnose d ~observed ~max_candidates:3 () in
+  check "capped" true (List.length c <= 3)
+
+let test_width_mismatch () =
+  let _, d = setup () in
+  check "mismatch raises" true
+    (try
+       ignore (Diagnose.diagnose d ~observed:(Bitvec.create 5) ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "diagnose",
+      [
+        Alcotest.test_case "dictionary shape" `Quick test_dictionary_shape;
+        Alcotest.test_case "injected fault ranks first" `Quick test_injected_fault_diagnosed_first;
+        Alcotest.test_case "equivalent faults grouped" `Quick test_equivalent_faults_grouped;
+        Alcotest.test_case "noisy observation" `Quick test_noisy_observation_ranks_close;
+        Alcotest.test_case "candidate cap" `Quick test_candidate_cap;
+        Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+      ] );
+  ]

@@ -1,0 +1,171 @@
+open Reseed_netlist
+open Reseed_fault
+open Reseed_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Brute-force oracle: rebuild the whole faulty circuit per pattern. *)
+let brute_force_detects c (fault : Fault.t) pattern =
+  let goodv = Reseed_sim.Logic_sim.output_response c pattern in
+  let values = Reseed_sim.Logic_sim.simulate_bool c pattern in
+  let fvals = Array.copy values in
+  let n_nodes = Circuit.node_count c in
+  for i = 0 to n_nodes - 1 do
+    (match c.Circuit.nodes.(i).Circuit.kind with
+    | Gate.Input -> ()
+    | k ->
+        let args = Array.map (fun f -> fvals.(f)) c.Circuit.nodes.(i).Circuit.fanins in
+        (match fault.Fault.site with
+        | Fault.Pin { gate; pin } when gate = i -> args.(pin) <- fault.Fault.stuck
+        | _ -> ());
+        fvals.(i) <- Gate.eval k args);
+    match fault.Fault.site with
+    | Fault.Out g when g = i -> fvals.(i) <- fault.Fault.stuck
+    | _ -> ()
+  done;
+  Array.map (fun o -> fvals.(o)) c.Circuit.outputs <> goodv
+
+let cross_check c patterns =
+  let faults = Fault.all c in
+  let sim = Fault_sim.create c faults in
+  let map = Fault_sim.detection_map sim patterns in
+  Array.iteri
+    (fun fi fault ->
+      Array.iteri
+        (fun p pattern ->
+          let brute = brute_force_detects c fault pattern in
+          let fast = Bitvec.get map.(fi) p in
+          if brute <> fast then
+            Alcotest.failf "fault %s pattern %d: brute=%b fast=%b"
+              (Fault.to_string c fault) p brute fast)
+        patterns)
+    faults
+
+let test_oracle_c17_exhaustive () =
+  let c = Library.c17 () in
+  let patterns = Array.init 32 (fun p -> Array.init 5 (fun i -> p lsr i land 1 = 1)) in
+  cross_check c patterns
+
+let test_oracle_random_circuits () =
+  let rng = Rng.create 555 in
+  List.iter
+    (fun seed ->
+      let spec =
+        { (Generator.default_spec "fs" ~inputs:9 ~outputs:3 ~gates:50) with Generator.seed = seed }
+      in
+      let c = Generator.generate spec in
+      let patterns = Array.init 70 (fun _ -> Array.init 9 (fun _ -> Rng.bool rng)) in
+      cross_check c patterns)
+    [ 1; 2; 3 ]
+
+let test_oracle_structured () =
+  let rng = Rng.create 556 in
+  List.iter
+    (fun c ->
+      let n = Circuit.input_count c in
+      let patterns = Array.init 64 (fun _ -> Array.init n (fun _ -> Rng.bool rng)) in
+      cross_check c patterns)
+    [ Library.ripple_adder 4; Library.comparator 4; Library.mux_tree 3; Library.alu 2 ]
+
+let test_first_detections_drop () =
+  let c = Library.c17 () in
+  let faults = Fault.all c in
+  let sim = Fault_sim.create c faults in
+  let patterns = Array.init 32 (fun p -> Array.init 5 (fun i -> p lsr i land 1 = 1)) in
+  let firsts = Fault_sim.first_detections sim patterns in
+  let map = Fault_sim.detection_map sim patterns in
+  Array.iteri
+    (fun fi first ->
+      match (first, Bitvec.first_one map.(fi)) with
+      | Some a, Some b when a = b -> ()
+      | None, None -> ()
+      | _ -> Alcotest.failf "first_detections disagrees on fault %d" fi)
+    firsts
+
+let test_active_mask_respected () =
+  let c = Library.c17 () in
+  let faults = Fault.all c in
+  let sim = Fault_sim.create c faults in
+  let patterns = Array.init 32 (fun p -> Array.init 5 (fun i -> p lsr i land 1 = 1)) in
+  let active = Bitvec.create (Array.length faults) in
+  Bitvec.set active 0;
+  Bitvec.set active 3;
+  let det = Fault_sim.detected_set sim patterns ~active in
+  check "detected ⊆ active" true (Bitvec.subset det active);
+  let firsts = Fault_sim.first_detections sim ~active patterns in
+  Array.iteri
+    (fun fi f -> if f <> None && not (Bitvec.get active fi) then Alcotest.fail "mask leak")
+    firsts
+
+let test_count_matches_set () =
+  let c = Library.ripple_adder 4 in
+  let faults = Fault.all c in
+  let sim = Fault_sim.create c faults in
+  let rng = Rng.create 4 in
+  let patterns = Array.init 20 (fun _ -> Array.init 9 (fun _ -> Rng.bool rng)) in
+  let active = Bitvec.create (Array.length faults) in
+  Bitvec.fill_all active;
+  check_int "count = |set|"
+    (Bitvec.count (Fault_sim.detected_set sim patterns ~active))
+    (Fault_sim.count_new_detections sim patterns ~active)
+
+let test_sims_counter_monotone () =
+  let c = Library.c17 () in
+  let sim = Fault_sim.create c (Fault.all c) in
+  let before = Fault_sim.sims_performed sim in
+  let active = Bitvec.create (Fault_sim.fault_count sim) in
+  Bitvec.fill_all active;
+  ignore (Fault_sim.detected_set sim [| Array.make 5 true |] ~active);
+  check "sims increased" true (Fault_sim.sims_performed sim > before)
+
+let test_empty_patterns () =
+  let c = Library.c17 () in
+  let sim = Fault_sim.create c (Fault.all c) in
+  let active = Bitvec.create (Fault_sim.fault_count sim) in
+  Bitvec.fill_all active;
+  let det = Fault_sim.detected_set sim [||] ~active in
+  check "nothing detected" true (Bitvec.is_empty det)
+
+let test_coverage_pct () =
+  let c = Library.c17 () in
+  let sim = Fault_sim.create c (Fault.all c) in
+  let det = Bitvec.create (Fault_sim.fault_count sim) in
+  Bitvec.set det 0;
+  let pct = Fault_sim.coverage_pct sim det in
+  check "pct positive" true (pct > 0.0 && pct < 100.0)
+
+(* Property: detection is stable under pattern-set permutation. *)
+let prop_detection_order_independent =
+  QCheck.Test.make ~name:"detected set independent of pattern order" ~count:20
+    QCheck.(small_int)
+    (fun seed ->
+      let c = Library.ripple_adder 3 in
+      let faults = Fault.all c in
+      let sim = Fault_sim.create c faults in
+      let rng = Rng.create seed in
+      let patterns = Array.init 10 (fun _ -> Array.init 7 (fun _ -> Rng.bool rng)) in
+      let shuffled = Array.copy patterns in
+      Rng.shuffle rng shuffled;
+      let active = Bitvec.create (Array.length faults) in
+      Bitvec.fill_all active;
+      Bitvec.equal
+        (Fault_sim.detected_set sim patterns ~active)
+        (Fault_sim.detected_set sim shuffled ~active))
+
+let suite =
+  [
+    ( "fault_sim",
+      [
+        Alcotest.test_case "oracle: c17 exhaustive" `Quick test_oracle_c17_exhaustive;
+        Alcotest.test_case "oracle: random circuits" `Slow test_oracle_random_circuits;
+        Alcotest.test_case "oracle: structured circuits" `Slow test_oracle_structured;
+        Alcotest.test_case "first_detections = first set bit" `Quick test_first_detections_drop;
+        Alcotest.test_case "active mask respected" `Quick test_active_mask_respected;
+        Alcotest.test_case "count matches set" `Quick test_count_matches_set;
+        Alcotest.test_case "sims counter monotone" `Quick test_sims_counter_monotone;
+        Alcotest.test_case "empty pattern set" `Quick test_empty_patterns;
+        Alcotest.test_case "coverage pct" `Quick test_coverage_pct;
+        QCheck_alcotest.to_alcotest prop_detection_order_independent;
+      ] );
+  ]

@@ -1,0 +1,238 @@
+open Reseed_core
+open Reseed_netlist
+open Reseed_setcover
+open Reseed_tpg
+open Reseed_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prepared_c17 = lazy (Suite.prepare "c17")
+let prepared_addr = lazy (Suite.prepare_circuit (Library.ripple_adder 6))
+
+(* --- Builder --- *)
+
+let test_builder_one_triplet_per_pattern () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let b =
+    Builder.build p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets
+      ~config:Builder.default_config
+  in
+  check_int "rows = patterns" (Array.length p.Suite.tests) (Array.length b.Builder.triplets);
+  check_int "matrix rows" (Array.length p.Suite.tests) (Matrix.rows b.Builder.matrix)
+
+let test_builder_seeds_are_patterns () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let b =
+    Builder.build p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets
+      ~config:Builder.default_config
+  in
+  Array.iteri
+    (fun i t ->
+      check "seed = ATPG pattern" true
+        (Word.to_bits t.Triplet.seed = p.Suite.tests.(i)))
+    b.Builder.triplets
+
+let test_builder_covers_targets_by_construction () =
+  (* Union of all rows ⊇ targets: the seed is the burst's first pattern. *)
+  let p = Lazy.force prepared_c17 in
+  List.iter
+    (fun tpg ->
+      let b =
+        Builder.build p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets
+          ~config:Builder.default_config
+      in
+      let u = Bitvec.create (Matrix.cols b.Builder.matrix) in
+      Array.iteri
+        (fun i _ -> Bitvec.union_into ~into:u (Matrix.row b.Builder.matrix i))
+        b.Builder.triplets;
+      check (tpg.Tpg.name ^ " covers") true (Bitvec.subset p.Suite.targets u))
+    (Accumulator.paper_tpgs 5)
+
+let test_builder_nontarget_columns_empty () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let targets = Bitvec.copy p.Suite.targets in
+  (* exclude a couple of faults *)
+  Bitvec.clear targets 0;
+  Bitvec.clear targets 5;
+  let b =
+    Builder.build p.Suite.sim tpg ~tests:p.Suite.tests ~targets
+      ~config:Builder.default_config
+  in
+  check "excluded col 0 empty" true (Bitvec.is_empty (Matrix.col b.Builder.matrix 0));
+  check "excluded col 5 empty" true (Bitvec.is_empty (Matrix.col b.Builder.matrix 5))
+
+let test_builder_shared_operand () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let sigma = Word.of_int 5 7 in
+  let config =
+    { Builder.default_config with Builder.operand_mode = Builder.Shared_operand sigma }
+  in
+  let b = Builder.build p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets ~config in
+  Array.iter
+    (fun t -> check "operand shared" true (Word.equal t.Triplet.operand sigma))
+    b.Builder.triplets
+
+let test_builder_cycle_config () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let config = { Builder.default_config with Builder.cycles = 3 } in
+  let b = Builder.build p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets ~config in
+  Array.iter (fun t -> check_int "cycles" 3 t.Triplet.cycles) b.Builder.triplets
+
+(* --- Flow --- *)
+
+let flow_on p tpg = Flow.run p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets
+
+let test_flow_full_coverage () =
+  let p = Lazy.force prepared_c17 in
+  List.iter
+    (fun tpg ->
+      let r = flow_on p tpg in
+      check "coverage 100" true (r.Flow.coverage_pct >= 100.0);
+      check "verifies" true (Flow.verify p.Suite.sim tpg r))
+    (Accumulator.paper_tpgs 5)
+
+let test_flow_minimality () =
+  (* No triplet of the final solution is removable (the paper's definition
+     of a minimal solution). *)
+  let p = Lazy.force prepared_addr in
+  let tpg = Accumulator.adder (Circuit.input_count p.Suite.circuit) in
+  let r = flow_on p tpg in
+  let rows = r.Flow.solution.Solution.rows in
+  let m = r.Flow.initial.Builder.matrix in
+  List.iter
+    (fun dropped ->
+      let subset = List.filter (fun x -> x <> dropped) rows in
+      if Matrix.covers m ~rows_subset:subset then
+        Alcotest.failf "triplet %d is removable" dropped)
+    rows
+
+let test_flow_test_length_bounds () =
+  let p = Lazy.force prepared_addr in
+  let tpg = Accumulator.adder (Circuit.input_count p.Suite.circuit) in
+  let r = flow_on p tpg in
+  check "positive" true (r.Flow.test_length > 0);
+  check "each triplet within T" true
+    (List.for_all
+       (fun t -> t.Triplet.cycles <= Builder.default_config.Builder.cycles)
+       r.Flow.final_triplets);
+  check "uniform >= truncated" true (r.Flow.uniform_test_length >= r.Flow.test_length)
+
+let test_flow_truncation_sound () =
+  (* Truncated triplets must still achieve full target coverage — verify
+     does exactly that, but check the count here explicitly. *)
+  let p = Lazy.force prepared_addr in
+  let tpg = Accumulator.subtracter (Circuit.input_count p.Suite.circuit) in
+  let r = flow_on p tpg in
+  let all = Array.concat (List.map (fun t -> Triplet.patterns tpg t) r.Flow.final_triplets) in
+  let det = Reseed_fault.Fault_sim.detected_set p.Suite.sim all ~active:p.Suite.targets in
+  check "truncated bursts still cover" true (Bitvec.subset p.Suite.targets det)
+
+let test_flow_solution_cardinality_vs_greedy () =
+  let p = Lazy.force prepared_addr in
+  let tpg = Accumulator.adder (Circuit.input_count p.Suite.circuit) in
+  let exact = flow_on p tpg in
+  let greedy =
+    Flow.run
+      ~config:{ Flow.default_config with Flow.method_ = Solution.Greedy_only }
+      p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets
+  in
+  check "exact <= greedy" true (Flow.reseedings exact <= Flow.reseedings greedy)
+
+let test_flow_fault_sims_counted () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let r = flow_on p tpg in
+  check "fault sims > 0" true (r.Flow.fault_sims > 0)
+
+(* --- Tradeoff --- *)
+
+let test_tradeoff_monotone_triplets () =
+  let p = Lazy.force prepared_addr in
+  let tpg = Accumulator.adder (Circuit.input_count p.Suite.circuit) in
+  let points =
+    Tradeoff.sweep p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets
+      ~grid:[ 4; 32; 256 ]
+  in
+  check_int "three points" 3 (List.length points);
+  let triplet_counts = List.map (fun pt -> pt.Tradeoff.triplets) points in
+  (* longer bursts never need more triplets *)
+  let rec non_increasing = function
+    | a :: b :: rest -> a >= b && non_increasing (b :: rest)
+    | _ -> true
+  in
+  check "non-increasing" true (non_increasing triplet_counts)
+
+let test_tradeoff_grid_sorted_and_rendered () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let points =
+    Tradeoff.sweep p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets
+      ~grid:[ 64; 4 ]
+  in
+  check "sorted by cycles" true
+    (List.map (fun pt -> pt.Tradeoff.cycles) points = [ 4; 64 ]);
+  let s = Tradeoff.render points in
+  check "render nonempty" true (String.length s > 0)
+
+let test_default_grid () =
+  let g = Tradeoff.default_grid ~max_cycles:64 in
+  check "grid" true (g = [ 8; 16; 32; 64 ])
+
+(* --- Suite drivers --- *)
+
+let test_table_rows () =
+  let p = Lazy.force prepared_c17 in
+  let row = Suite.table1_row ~with_gatsby:true p in
+  check_int "three TPG entries" 3 (List.length row.Suite.entries);
+  List.iter
+    (fun e ->
+      check "sc triplets positive" true (e.Suite.sc_triplets >= 1);
+      check "gatsby present" true (e.Suite.gatsby_triplets <> None))
+    row.Suite.entries;
+  let row2 = Suite.table2_row p in
+  check_int "t2 entries" 3 (List.length row2.Suite.t2_entries);
+  check_int "initial triplets = |ATPGTS|" (Array.length p.Suite.tests) row2.Suite.initial_triplets;
+  let s1 = Suite.render_table1 [ row ] in
+  let s2 = Suite.render_table2 [ row2 ] in
+  check "renders" true (String.length s1 > 0 && String.length s2 > 0)
+
+
+let test_csv_outputs () =
+  let p = Lazy.force prepared_c17 in
+  let row = Suite.table1_row ~with_gatsby:false p in
+  let csv1 = Suite.csv_table1 [ row ] in
+  let csv2 = Suite.csv_table2 [ Suite.table2_row p ] in
+  let fig = Suite.csv_figure2 [ { Tradeoff.cycles = 8; triplets = 3; test_length = 24 } ] in
+  check "csv1 has header" true (String.length csv1 > 0 && String.sub csv1 0 7 = "Circuit");
+  check "csv2 has header" true (String.length csv2 > 0 && String.sub csv2 0 7 = "Circuit");
+  check "figure csv row" true (fig = "cycles,triplets,test_length\n8,3,24\n")
+
+let suite =
+  [
+    ( "builder+flow",
+      [
+        Alcotest.test_case "one triplet per pattern" `Quick test_builder_one_triplet_per_pattern;
+        Alcotest.test_case "seeds are ATPG patterns" `Quick test_builder_seeds_are_patterns;
+        Alcotest.test_case "initial reseeding covers F" `Quick test_builder_covers_targets_by_construction;
+        Alcotest.test_case "non-target columns empty" `Quick test_builder_nontarget_columns_empty;
+        Alcotest.test_case "shared operand mode" `Quick test_builder_shared_operand;
+        Alcotest.test_case "cycle configuration" `Quick test_builder_cycle_config;
+        Alcotest.test_case "flow reaches 100% on targets" `Quick test_flow_full_coverage;
+        Alcotest.test_case "solution is minimal" `Quick test_flow_minimality;
+        Alcotest.test_case "test length accounting" `Quick test_flow_test_length_bounds;
+        Alcotest.test_case "truncation is sound" `Quick test_flow_truncation_sound;
+        Alcotest.test_case "exact <= greedy" `Quick test_flow_solution_cardinality_vs_greedy;
+        Alcotest.test_case "fault sims counted" `Quick test_flow_fault_sims_counted;
+        Alcotest.test_case "tradeoff monotone" `Slow test_tradeoff_monotone_triplets;
+        Alcotest.test_case "tradeoff sorting/render" `Quick test_tradeoff_grid_sorted_and_rendered;
+        Alcotest.test_case "default grid" `Quick test_default_grid;
+        Alcotest.test_case "suite table rows" `Slow test_table_rows;
+        Alcotest.test_case "csv outputs" `Quick test_csv_outputs;
+      ] );
+  ]

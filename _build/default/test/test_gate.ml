@@ -1,0 +1,93 @@
+open Reseed_netlist
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bools_of_int k n = Array.init k (fun i -> n lsr i land 1 = 1)
+
+(* eval_word over single-pattern words must agree with eval. *)
+let test_eval_word_agrees () =
+  let kinds = [ Gate.Buf; Gate.Not ] in
+  List.iter
+    (fun kind ->
+      for v = 0 to 1 do
+        let b = Gate.eval kind [| v = 1 |] in
+        let w = Gate.eval_word kind [| v |] land 1 = 1 in
+        check (Gate.kind_to_string kind) b w
+      done)
+    kinds;
+  let kinds2 = [ Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor ] in
+  List.iter
+    (fun kind ->
+      for arity = 2 to 4 do
+        for v = 0 to (1 lsl arity) - 1 do
+          let bools = bools_of_int arity v in
+          let words = Array.map (fun b -> if b then 1 else 0) bools in
+          let expect = Gate.eval kind bools in
+          let got = Gate.eval_word kind words land 1 = 1 in
+          if expect <> got then
+            Alcotest.failf "%s arity %d input %d" (Gate.kind_to_string kind) arity v
+        done
+      done)
+    kinds2
+
+let test_eval_word_parallel () =
+  (* bit k of result = gate under pattern k *)
+  let a = 0b1100 and b = 0b1010 in
+  check_int "and" 0b1000 (Gate.eval_word Gate.And [| a; b |]);
+  check_int "or" 0b1110 (Gate.eval_word Gate.Or [| a; b |]);
+  check_int "xor" 0b0110 (Gate.eval_word Gate.Xor [| a; b |]);
+  check_int "nand low bits" 0b0111 (Gate.eval_word Gate.Nand [| a; b |] land 0b1111)
+
+let test_truth_tables () =
+  check "and TT" true (Gate.eval Gate.And [| true; true |]);
+  check "and TF" false (Gate.eval Gate.And [| true; false |]);
+  check "nand TT" false (Gate.eval Gate.Nand [| true; true |]);
+  check "nor FF" true (Gate.eval Gate.Nor [| false; false |]);
+  check "xor3 TTT" true (Gate.eval Gate.Xor [| true; true; true |]);
+  check "xnor3 TTF" true (Gate.eval Gate.Xnor [| true; true; false |]);
+  check "const0" false (Gate.eval Gate.Const0 [||]);
+  check "const1" true (Gate.eval Gate.Const1 [||])
+
+let test_kind_strings () =
+  List.iter
+    (fun k ->
+      if k <> Gate.Input then
+        Alcotest.(check bool)
+          (Gate.kind_to_string k) true
+          (Gate.kind_of_string (Gate.kind_to_string k) = k))
+    Gate.all_kinds;
+  check "case insensitive" true (Gate.kind_of_string "nand" = Gate.Nand);
+  check "buff alias" true (Gate.kind_of_string "BUFF" = Gate.Buf);
+  check "inv alias" true (Gate.kind_of_string "INV" = Gate.Not);
+  Alcotest.check_raises "unknown" (Invalid_argument "Gate.kind_of_string: unknown gate FOO")
+    (fun () -> ignore (Gate.kind_of_string "foo"))
+
+let test_arity () =
+  check "input 0" true (Gate.arity_ok Gate.Input 0);
+  check "input 1" false (Gate.arity_ok Gate.Input 1);
+  check "not 1" true (Gate.arity_ok Gate.Not 1);
+  check "not 2" false (Gate.arity_ok Gate.Not 2);
+  check "and 2" true (Gate.arity_ok Gate.And 2);
+  check "and 10" true (Gate.arity_ok Gate.And 10);
+  check "and 1" false (Gate.arity_ok Gate.And 1)
+
+let test_controlling_inversion () =
+  check "and ctrl" true (Gate.controlling_value Gate.And = Some false);
+  check "nor ctrl" true (Gate.controlling_value Gate.Nor = Some true);
+  check "xor ctrl" true (Gate.controlling_value Gate.Xor = None);
+  check "nand inverts" true (Gate.inversion Gate.Nand);
+  check "and doesn't" false (Gate.inversion Gate.And)
+
+let suite =
+  [
+    ( "gate",
+      [
+        Alcotest.test_case "eval_word agrees with eval" `Quick test_eval_word_agrees;
+        Alcotest.test_case "eval_word is bit-parallel" `Quick test_eval_word_parallel;
+        Alcotest.test_case "truth tables" `Quick test_truth_tables;
+        Alcotest.test_case "kind <-> string" `Quick test_kind_strings;
+        Alcotest.test_case "arity checks" `Quick test_arity;
+        Alcotest.test_case "controlling/inversion" `Quick test_controlling_inversion;
+      ] );
+  ]

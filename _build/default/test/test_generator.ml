@@ -1,0 +1,118 @@
+open Reseed_netlist
+open Reseed_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_deterministic () =
+  let spec = Generator.default_spec "det" ~inputs:10 ~outputs:3 ~gates:60 in
+  let a = Generator.generate spec and b = Generator.generate spec in
+  check_int "same node count" (Circuit.node_count a) (Circuit.node_count b);
+  check "same bench text" true (Bench_io.to_string a = Bench_io.to_string b)
+
+let test_seed_sensitivity () =
+  let spec = Generator.default_spec "s" ~inputs:10 ~outputs:3 ~gates:60 in
+  let a = Generator.generate spec in
+  let b = Generator.generate { spec with Generator.seed = spec.Generator.seed + 1 } in
+  check "different seed different circuit" true
+    (Bench_io.to_string a <> Bench_io.to_string b)
+
+let test_profile_respected () =
+  let spec = Generator.default_spec "p" ~inputs:20 ~outputs:8 ~gates:200 in
+  let c = Generator.generate spec in
+  check_int "inputs exact" 20 (Circuit.input_count c);
+  check_int "outputs exact" 8 (Circuit.output_count c);
+  let g = Circuit.gate_count c in
+  check "gates within 15%" true (g >= 170 && g <= 230);
+  Circuit.validate c
+
+let test_no_dangling () =
+  let spec = Generator.default_spec "d" ~inputs:12 ~outputs:4 ~gates:100 in
+  let c = Generator.generate spec in
+  let is_po = Array.make (Circuit.node_count c) false in
+  Array.iter (fun o -> is_po.(o) <- true) c.Circuit.outputs;
+  Array.iteri
+    (fun i fo ->
+      if Array.length fo = 0 && not is_po.(i) then
+        Alcotest.failf "node %d dangles" i)
+    c.Circuit.fanouts
+
+let test_depth_reasonable () =
+  let spec = Generator.default_spec "dep" ~inputs:30 ~outputs:10 ~gates:500 in
+  let c = Generator.generate spec in
+  let d = Circuit.max_level c in
+  check "depth in realistic band" true (d >= 8 && d <= 60)
+
+let test_balanced_signals () =
+  (* Most internal nodes stay probabilistically balanced — the property
+     that keeps the synthetic circuits testable like real ISCAS ones. *)
+  let spec = Generator.default_spec "bal" ~inputs:25 ~outputs:8 ~gates:300 in
+  let c = Generator.generate spec in
+  let rng = Rng.create 9 in
+  let trials = 512 in
+  let ones = Array.make (Circuit.node_count c) 0 in
+  for _ = 1 to trials do
+    let pat = Array.init 25 (fun _ -> Rng.bool rng) in
+    let v = Reseed_sim.Logic_sim.simulate_bool c pat in
+    Array.iteri (fun i b -> if b then ones.(i) <- ones.(i) + 1) v
+  done;
+  let skewed =
+    Array.fold_left
+      (fun acc o ->
+        let p = float_of_int o /. float_of_int trials in
+        if p < 0.02 || p > 0.98 then acc + 1 else acc)
+      0 ones
+  in
+  (* hard cores are intentionally skewed; they are a small minority *)
+  check "skewed nodes < 25%" true (skewed * 4 < Circuit.node_count c)
+
+let test_hard_cores_present () =
+  let spec = Generator.default_spec "hard" ~inputs:30 ~outputs:10 ~gates:400 in
+  let c = Generator.generate spec in
+  let wide =
+    Array.fold_left
+      (fun acc (n : Circuit.node) ->
+        if n.Circuit.kind = Gate.And && Array.length n.Circuit.fanins >= 8 then acc + 1
+        else acc)
+      0 c.Circuit.nodes
+  in
+  check "has wide AND cores" true (wide >= 2)
+
+let test_invalid_specs () =
+  let base = Generator.default_spec "x" ~inputs:10 ~outputs:2 ~gates:50 in
+  List.iter
+    (fun spec ->
+      check "invalid rejected" true
+        (try
+           ignore (Generator.generate spec);
+           false
+         with Invalid_argument _ -> true))
+    [
+      { base with Generator.n_inputs = 1 };
+      { base with Generator.n_outputs = 0 };
+      { base with Generator.n_gates = 1 };
+    ]
+
+let test_scale () =
+  let spec = Library.spec_of "s15850" in
+  let scaled = Library.scale ~factor:8 spec in
+  check "scaled gates" true (scaled.Generator.n_gates = spec.Generator.n_gates / 8);
+  check "scale 1 is identity" true (Library.scale ~factor:1 spec = spec);
+  check "floors hold" true
+    ((Library.scale ~factor:1000 spec).Generator.n_gates >= 8)
+
+let suite =
+  [
+    ( "generator",
+      [
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+        Alcotest.test_case "profile respected" `Quick test_profile_respected;
+        Alcotest.test_case "no dangling logic" `Quick test_no_dangling;
+        Alcotest.test_case "depth realistic" `Quick test_depth_reasonable;
+        Alcotest.test_case "signals balanced" `Quick test_balanced_signals;
+        Alcotest.test_case "hard cores present" `Quick test_hard_cores_present;
+        Alcotest.test_case "invalid specs rejected" `Quick test_invalid_specs;
+        Alcotest.test_case "library scaling" `Quick test_scale;
+      ] );
+  ]

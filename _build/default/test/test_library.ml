@@ -1,0 +1,121 @@
+open Reseed_netlist
+open Reseed_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let to_bits width v = Array.init width (fun i -> v lsr i land 1 = 1)
+let of_bits bits = Array.fold_right (fun b acc -> (acc lsl 1) lor (if b then 1 else 0)) bits 0
+
+let test_ripple_adder_functional () =
+  let n = 4 in
+  let c = Library.ripple_adder n in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      for cin = 0 to 1 do
+        let pattern = Array.concat [ to_bits n a; to_bits n b; [| cin = 1 |] ] in
+        let out = Logic_sim.output_response c pattern in
+        (* outputs: s0..s3, cout *)
+        let sum = of_bits out in
+        if sum <> a + b + cin then
+          Alcotest.failf "adder %d+%d+%d gave %d" a b cin sum
+      done
+    done
+  done
+
+let test_parity_functional () =
+  let c = Library.parity 8 in
+  for v = 0 to 255 do
+    let pattern = to_bits 8 v in
+    let out = Logic_sim.output_response c pattern in
+    let expect = Reseed_util.Bitvec.popcount_int v land 1 = 1 in
+    if out.(0) <> expect then Alcotest.failf "parity of %d wrong" v
+  done
+
+let test_mux_functional () =
+  let k = 3 in
+  let c = Library.mux_tree k in
+  let n = 1 lsl k in
+  for data = 0 to (1 lsl n) - 1 do
+    for sel = 0 to n - 1 do
+      let pattern = Array.concat [ to_bits n data; to_bits k sel ] in
+      let out = Logic_sim.output_response c pattern in
+      let expect = data lsr sel land 1 = 1 in
+      if out.(0) <> expect then Alcotest.failf "mux data=%d sel=%d" data sel
+    done
+  done
+
+let test_comparator_functional () =
+  let n = 3 in
+  let c = Library.comparator n in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let pattern = Array.concat [ to_bits n a; to_bits n b ] in
+      let out = Logic_sim.output_response c pattern in
+      (* outputs: eq, lt *)
+      if out.(0) <> (a = b) then Alcotest.failf "eq %d %d" a b;
+      if out.(1) <> (a < b) then Alcotest.failf "lt %d %d" a b
+    done
+  done
+
+let test_alu_functional () =
+  let n = 3 in
+  let c = Library.alu n in
+  let mask = (1 lsl n) - 1 in
+  for a = 0 to mask do
+    for b = 0 to mask do
+      List.iteri
+        (fun op expect ->
+          let s0 = op land 1 = 1 and s1 = op lsr 1 land 1 = 1 in
+          let pattern = Array.concat [ to_bits n a; to_bits n b; [| s0; s1 |] ] in
+          let out = Logic_sim.output_response c pattern in
+          let result = of_bits (Array.sub out 0 n) in
+          if result <> expect land mask then
+            Alcotest.failf "alu op=%d a=%d b=%d got %d want %d" op a b result
+              (expect land mask))
+        [ a + b; a land b; a lor b; a lxor b ]
+    done
+  done
+
+let test_catalog_complete () =
+  check "c17 in catalog" true (List.mem "c17" Library.names);
+  check "s1238 in catalog" true (List.mem "s1238" Library.names);
+  check "s15850 in catalog" true (List.mem "s15850" Library.names);
+  check_int "18 paper circuits" 18 (List.length Library.names);
+  check_int "22 total" 22 (List.length Library.all_names);
+  check "extended loadable" true
+    (List.for_all (fun n -> List.mem n Library.all_names) [ "c2670"; "c3540"; "c5315"; "c6288" ]);
+  Alcotest.check_raises "unknown circuit" Not_found (fun () ->
+      ignore (Library.spec_of "c9999"))
+
+let test_load_all_small () =
+  List.iter
+    (fun name ->
+      let c = Library.load ~scale_factor:8 name in
+      Circuit.validate c)
+    Library.all_names
+
+let test_c17_is_real () =
+  let c = Library.load "c17" in
+  (* the canonical c17 netlist, not a synthetic stand-in *)
+  check_int "6 NANDs" 6 (Circuit.gate_count c);
+  Array.iter
+    (fun (n : Circuit.node) ->
+      if n.Circuit.kind <> Gate.Input then
+        check "all gates NAND" true (n.Circuit.kind = Gate.Nand))
+    c.Circuit.nodes
+
+let suite =
+  [
+    ( "library",
+      [
+        Alcotest.test_case "ripple adder adds" `Quick test_ripple_adder_functional;
+        Alcotest.test_case "parity tree" `Quick test_parity_functional;
+        Alcotest.test_case "mux tree selects" `Quick test_mux_functional;
+        Alcotest.test_case "comparator compares" `Quick test_comparator_functional;
+        Alcotest.test_case "alu computes" `Quick test_alu_functional;
+        Alcotest.test_case "catalog complete" `Quick test_catalog_complete;
+        Alcotest.test_case "all catalog circuits load (scaled)" `Slow test_load_all_small;
+        Alcotest.test_case "c17 is the real netlist" `Quick test_c17_is_real;
+      ] );
+  ]

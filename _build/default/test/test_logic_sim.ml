@@ -1,0 +1,98 @@
+open Reseed_netlist
+open Reseed_sim
+open Reseed_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_block_width () = check_int "62 patterns per block" 62 Logic_sim.block_width
+
+let test_valid_mask () =
+  check_int "mask 1" 1 (Logic_sim.valid_mask 1);
+  check_int "mask 3" 0b111 (Logic_sim.valid_mask 3);
+  check_int "mask 62" max_int (Logic_sim.valid_mask 62);
+  Alcotest.check_raises "mask 0" (Invalid_argument "Logic_sim.valid_mask") (fun () ->
+      ignore (Logic_sim.valid_mask 0));
+  Alcotest.check_raises "mask 63" (Invalid_argument "Logic_sim.valid_mask") (fun () ->
+      ignore (Logic_sim.valid_mask 63))
+
+(* The bit-parallel simulator must agree with the single-pattern oracle on
+   every node, for random circuits and random pattern blocks. *)
+let test_parallel_agrees_with_bool () =
+  let rng = Rng.create 77 in
+  List.iter
+    (fun (inputs, gates) ->
+      let spec =
+        {
+          (Generator.default_spec "sim" ~inputs ~outputs:3 ~gates) with
+          Generator.seed = Rng.int rng 10000;
+        }
+      in
+      let c = Generator.generate spec in
+      let patterns =
+        Array.init 62 (fun _ -> Array.init inputs (fun _ -> Rng.bool rng))
+      in
+      let block = Logic_sim.pack c patterns in
+      let words = Logic_sim.simulate c block in
+      Array.iteri
+        (fun k pattern ->
+          let bools = Logic_sim.simulate_bool c pattern in
+          Array.iteri
+            (fun node w ->
+              let parallel_bit = w lsr k land 1 = 1 in
+              if parallel_bit <> bools.(node) then
+                Alcotest.failf "node %d pattern %d disagrees" node k)
+            words)
+        patterns)
+    [ (8, 40); (15, 120) ]
+
+let test_pack_rejects () =
+  let c = Library.c17 () in
+  Alcotest.check_raises "too many patterns"
+    (Invalid_argument "Logic_sim.pack: block must hold 1..62 patterns") (fun () ->
+      ignore (Logic_sim.pack c (Array.make 63 (Array.make 5 false))));
+  Alcotest.check_raises "wrong width"
+    (Invalid_argument "Logic_sim.pack: pattern width mismatch") (fun () ->
+      ignore (Logic_sim.pack c [| Array.make 4 false |]))
+
+let test_pack_all_chunks () =
+  let c = Library.c17 () in
+  let patterns = Array.make 130 (Array.make 5 true) in
+  let blocks = Logic_sim.pack_all c patterns in
+  check_int "3 blocks" 3 (List.length blocks);
+  check_int "sizes" 130
+    (List.fold_left (fun acc (b : Logic_sim.block) -> acc + b.Logic_sim.width) 0 blocks)
+
+let test_outputs_extraction () =
+  let c = Library.c17 () in
+  let pattern = [| true; true; false; true; false |] in
+  let block = Logic_sim.pack c [| pattern |] in
+  let values = Logic_sim.simulate c block in
+  let outs = Logic_sim.outputs c values in
+  let expect = Logic_sim.output_response c pattern in
+  Array.iteri
+    (fun i w -> check "output bit" (w land 1 = 1) expect.(i))
+    outs
+
+let test_known_c17_response () =
+  let c = Library.c17 () in
+  (* All-zero input: NAND trees force both outputs to known values. *)
+  let out = Logic_sim.output_response c (Array.make 5 false) in
+  (* 10 = NAND(0,0)=1, 11 = NAND(0,0)=1, 16 = NAND(0,1)=1, 19 = NAND(1,0)=1,
+     22 = NAND(1,1)=0, 23 = NAND(1,1)=0 *)
+  check "out 22" false out.(0);
+  check "out 23" false out.(1)
+
+let suite =
+  [
+    ( "logic_sim",
+      [
+        Alcotest.test_case "block width" `Quick test_block_width;
+        Alcotest.test_case "valid_mask" `Quick test_valid_mask;
+        Alcotest.test_case "bit-parallel = oracle" `Quick test_parallel_agrees_with_bool;
+        Alcotest.test_case "pack validation" `Quick test_pack_rejects;
+        Alcotest.test_case "pack_all chunks" `Quick test_pack_all_chunks;
+        Alcotest.test_case "output extraction" `Quick test_outputs_extraction;
+        Alcotest.test_case "known c17 response" `Quick test_known_c17_response;
+      ] );
+  ]

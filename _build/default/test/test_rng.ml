@@ -1,0 +1,116 @@
+open Reseed_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let sa = List.init 20 (fun _ -> Rng.next a) in
+  let sb = List.init 20 (fun _ -> Rng.next b) in
+  check "same seed same stream" true (sa = sb)
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let sa = List.init 10 (fun _ -> Rng.next a) in
+  let sb = List.init 10 (fun _ -> Rng.next b) in
+  check "different seeds differ" true (sa <> sb)
+
+let test_copy () =
+  let a = Rng.create 3 in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  check_int "copy continues identically" (Rng.next a) (Rng.next b)
+
+let test_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let sa = List.init 10 (fun _ -> Rng.next a) in
+  let sb = List.init 10 (fun _ -> Rng.next b) in
+  check "split streams differ" true (sa <> sb)
+
+let test_non_negative () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Rng.next rng in
+    if x < 0 then Alcotest.fail "negative output"
+  done
+
+let test_int_bounds () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    if x < 0 || x >= 17 then Alcotest.fail "out of range"
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_roughly_uniform () =
+  let rng = Rng.create 17 in
+  let buckets = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let x = Rng.int rng 10 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      (* each bucket expects 2000; allow ±15% *)
+      if c < 1700 || c > 2300 then
+        Alcotest.failf "bucket count %d far from uniform" c)
+    buckets
+
+let test_bits () =
+  let rng = Rng.create 19 in
+  check_int "0 bits" 0 (Rng.bits rng 0);
+  for _ = 1 to 100 do
+    let x = Rng.bits rng 5 in
+    if x < 0 || x > 31 then Alcotest.fail "bits out of range"
+  done
+
+let test_float_range () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_bool_balanced () =
+  let rng = Rng.create 29 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool rng then incr trues
+  done;
+  check "bool roughly balanced" true (!trues > 4600 && !trues < 5400)
+
+let test_pick_shuffle () =
+  let rng = Rng.create 31 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 50 do
+    let x = Rng.pick rng arr in
+    if not (Array.mem x arr) then Alcotest.fail "pick not a member"
+  done;
+  let arr2 = Array.init 20 Fun.id in
+  let orig = Array.copy arr2 in
+  Rng.shuffle rng arr2;
+  check "shuffle is a permutation" true
+    (List.sort compare (Array.to_list arr2) = Array.to_list orig);
+  Alcotest.check_raises "pick empty" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]))
+
+let suite =
+  [
+    ( "rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_different_seeds;
+        Alcotest.test_case "copy" `Quick test_copy;
+        Alcotest.test_case "split independence" `Quick test_split_independent;
+        Alcotest.test_case "outputs non-negative" `Quick test_non_negative;
+        Alcotest.test_case "int bounds" `Quick test_int_bounds;
+        Alcotest.test_case "int uniformity" `Quick test_int_roughly_uniform;
+        Alcotest.test_case "bits" `Quick test_bits;
+        Alcotest.test_case "float range" `Quick test_float_range;
+        Alcotest.test_case "bool balance" `Quick test_bool_balanced;
+        Alcotest.test_case "pick/shuffle" `Quick test_pick_shuffle;
+      ] );
+  ]

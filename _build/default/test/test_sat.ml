@@ -1,0 +1,131 @@
+open Reseed_sat
+
+let check = Alcotest.(check bool)
+
+let test_trivial_sat () =
+  let s = Sat.create 2 in
+  Sat.add_clause s [ 1; 2 ];
+  (match Sat.solve s with
+  | Sat.Sat model -> check "clause satisfied" true (model.(1) || model.(2))
+  | _ -> Alcotest.fail "expected SAT")
+
+let test_trivial_unsat () =
+  let s = Sat.create 1 in
+  Sat.add_clause s [ 1 ];
+  Sat.add_clause s [ -1 ];
+  check "unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_empty_clause () =
+  let s = Sat.create 1 in
+  Sat.add_clause s [];
+  check "empty clause unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_tautology_dropped () =
+  let s = Sat.create 1 in
+  Sat.add_clause s [ 1; -1 ];
+  Alcotest.(check int) "tautology not stored" 0 (Sat.clause_count s);
+  check "sat" true (match Sat.solve s with Sat.Sat _ -> true | _ -> false)
+
+let test_unit_propagation_chain () =
+  let s = Sat.create 4 in
+  Sat.add_clause s [ 1 ];
+  Sat.add_clause s [ -1; 2 ];
+  Sat.add_clause s [ -2; 3 ];
+  Sat.add_clause s [ -3; 4 ];
+  (match Sat.solve s with
+  | Sat.Sat model -> check "chain implied" true (model.(1) && model.(2) && model.(3) && model.(4))
+  | _ -> Alcotest.fail "expected SAT")
+
+let test_unsat_needs_search () =
+  (* pigeonhole PHP(3,2): 3 pigeons, 2 holes — classic small UNSAT *)
+  let s = Sat.create 6 in
+  (* var p_{i,h} = 2*(i-1)+h for i in 1..3, h in 1..2 *)
+  let v i h = (2 * (i - 1)) + h in
+  for i = 1 to 3 do
+    Sat.add_clause s [ v i 1; v i 2 ]
+  done;
+  for h = 1 to 2 do
+    for i = 1 to 3 do
+      for j = i + 1 to 3 do
+        Sat.add_clause s [ -(v i h); -(v j h) ]
+      done
+    done
+  done;
+  check "php(3,2) unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_assumptions () =
+  let s = Sat.create 2 in
+  Sat.add_clause s [ 1; 2 ];
+  check "assume both false" true (Sat.solve ~assumptions:[ -1; -2 ] s = Sat.Unsat);
+  (match Sat.solve ~assumptions:[ -1 ] s with
+  | Sat.Sat model -> check "forced other" true model.(2)
+  | _ -> Alcotest.fail "expected SAT");
+  check "contradictory assumptions" true (Sat.solve ~assumptions:[ 1; -1 ] s = Sat.Unsat)
+
+let test_bad_literal () =
+  let s = Sat.create 2 in
+  Alcotest.check_raises "zero literal" (Invalid_argument "Sat.add_clause: bad literal")
+    (fun () -> Sat.add_clause s [ 0 ]);
+  Alcotest.check_raises "out of range" (Invalid_argument "Sat.add_clause: bad literal")
+    (fun () -> Sat.add_clause s [ 3 ])
+
+(* Property: every model returned satisfies every clause; and on random
+   3-CNF near the threshold the solver always terminates with a sound
+   answer (cross-checked by brute force on <= 12 variables). *)
+let prop_model_sound_and_complete =
+  QCheck.Test.make ~name:"sat agrees with brute force" ~count:80 QCheck.small_int
+    (fun seed ->
+      let rng = Reseed_util.Rng.create (seed + 5000) in
+      let nv = 4 + Reseed_util.Rng.int rng 8 in
+      let nc = 2 + Reseed_util.Rng.int rng (4 * nv) in
+      let clauses =
+        List.init nc (fun _ ->
+            List.init 3 (fun _ ->
+                let v = 1 + Reseed_util.Rng.int rng nv in
+                if Reseed_util.Rng.bool rng then v else -v))
+      in
+      let s = Sat.create nv in
+      List.iter (Sat.add_clause s) clauses;
+      let brute_sat =
+        let rec try_assign mask =
+          if mask >= 1 lsl nv then false
+          else
+            let holds =
+              List.for_all
+                (fun clause ->
+                  List.exists
+                    (fun l ->
+                      let bit = mask lsr (abs l - 1) land 1 = 1 in
+                      if l > 0 then bit else not bit)
+                    clause)
+                clauses
+            in
+            holds || try_assign (mask + 1)
+        in
+        try_assign 0
+      in
+      match Sat.solve s with
+      | Sat.Sat model ->
+          brute_sat
+          && List.for_all
+               (fun clause ->
+                 List.exists (fun l -> if l > 0 then model.(l) else not model.(-l)) clause)
+               clauses
+      | Sat.Unsat -> not brute_sat
+      | Sat.Unknown -> false)
+
+let suite =
+  [
+    ( "sat",
+      [
+        Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+        Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+        Alcotest.test_case "empty clause" `Quick test_empty_clause;
+        Alcotest.test_case "tautology dropped" `Quick test_tautology_dropped;
+        Alcotest.test_case "unit propagation chain" `Quick test_unit_propagation_chain;
+        Alcotest.test_case "pigeonhole unsat" `Quick test_unsat_needs_search;
+        Alcotest.test_case "assumptions" `Quick test_assumptions;
+        Alcotest.test_case "bad literals rejected" `Quick test_bad_literal;
+        QCheck_alcotest.to_alcotest prop_model_sound_and_complete;
+      ] );
+  ]

@@ -1,0 +1,91 @@
+open Reseed_atpg
+open Reseed_fault
+open Reseed_netlist
+open Reseed_util
+
+let check = Alcotest.(check bool)
+
+(* PODEM and SAT-ATPG are both complete: they must agree on testability
+   for every fault, and every produced pattern must validate. *)
+let cross_validate c =
+  let rng = Rng.create 31 in
+  let tb = Testability.compute c in
+  Array.iter
+    (fun fault ->
+      let sat_out = Satpg.generate_checked c fault ~rng () in
+      let podem_out =
+        Podem.generate c fault ~rng ~max_backtracks:100_000 ~testability:tb ()
+      in
+      match (sat_out, podem_out) with
+      | Satpg.Test _, Podem.Test _ -> ()
+      | Satpg.Untestable, Podem.Untestable -> ()
+      | Satpg.Aborted, _ | _, Podem.Aborted -> () (* budget: no claim *)
+      | Satpg.Test _, Podem.Untestable ->
+          Alcotest.failf "%s: SAT found a test, PODEM claims redundant"
+            (Fault.to_string c fault)
+      | Satpg.Untestable, Podem.Test _ ->
+          Alcotest.failf "%s: PODEM found a test, SAT claims redundant"
+            (Fault.to_string c fault))
+    (Fault.all c)
+
+let test_agree_c17 () = cross_validate (Library.c17 ())
+let test_agree_adder () = cross_validate (Library.ripple_adder 4)
+let test_agree_alu () = cross_validate (Library.alu 2)
+let test_agree_parity () = cross_validate (Library.parity 6)
+let test_agree_mux () = cross_validate (Library.mux_tree 3)
+
+let test_agree_synthetic () =
+  let spec = Generator.default_spec "satpg" ~inputs:8 ~outputs:3 ~gates:40 in
+  cross_validate (Generator.generate spec)
+
+let test_redundant_proved () =
+  let b = Circuit.Builder.create "red" in
+  let x = Circuit.Builder.add_input b "x" in
+  let nx = Circuit.Builder.add_gate b Gate.Not [ x ] "nx" in
+  let y = Circuit.Builder.add_gate b Gate.Or [ x; nx ] "y" in
+  Circuit.Builder.mark_output b y;
+  let c = Circuit.Builder.finalize b in
+  let fault = { Fault.site = Fault.Out (Circuit.find c "y"); stuck = true } in
+  check "sat proves redundancy" true (Satpg.generate c fault () = Satpg.Untestable)
+
+let test_wide_and () =
+  let w = 14 in
+  let b = Circuit.Builder.create "wide" in
+  let ins = List.init w (fun i -> Circuit.Builder.add_input b (Printf.sprintf "x%d" i)) in
+  let g = Circuit.Builder.add_gate b Gate.And ins "g" in
+  Circuit.Builder.mark_output b g;
+  let c = Circuit.Builder.finalize b in
+  let fault = { Fault.site = Fault.Out (Circuit.find c "g"); stuck = false } in
+  match Satpg.generate c fault () with
+  | Satpg.Test pattern -> check "all ones" true (Array.for_all Fun.id pattern)
+  | _ -> Alcotest.fail "sat failed on wide AND"
+
+let test_disconnected_site () =
+  (* fault on logic with no path to any PO: trivially untestable *)
+  let b = Circuit.Builder.create "disc" in
+  let x = Circuit.Builder.add_input b "x" in
+  let y = Circuit.Builder.add_input b "y" in
+  let dead = Circuit.Builder.add_gate b Gate.And [ x; y ] "dead" in
+  let live = Circuit.Builder.add_gate b Gate.Or [ x; y ] "live" in
+  ignore dead;
+  Circuit.Builder.mark_output b live;
+  let c = Circuit.Builder.finalize b in
+  (* [dead] has no fanout: Fault.universe still enumerates its faults *)
+  let fault = { Fault.site = Fault.Out (Circuit.find c "dead"); stuck = false } in
+  check "disconnected untestable" true (Satpg.generate c fault () = Satpg.Untestable)
+
+let suite =
+  [
+    ( "satpg",
+      [
+        Alcotest.test_case "agrees with PODEM on c17" `Quick test_agree_c17;
+        Alcotest.test_case "agrees on ripple adder" `Quick test_agree_adder;
+        Alcotest.test_case "agrees on alu" `Quick test_agree_alu;
+        Alcotest.test_case "agrees on parity" `Quick test_agree_parity;
+        Alcotest.test_case "agrees on mux" `Quick test_agree_mux;
+        Alcotest.test_case "agrees on synthetic circuit" `Slow test_agree_synthetic;
+        Alcotest.test_case "proves redundancy" `Quick test_redundant_proved;
+        Alcotest.test_case "wide AND coincidence" `Quick test_wide_and;
+        Alcotest.test_case "disconnected site" `Quick test_disconnected_site;
+      ] );
+  ]

@@ -1,0 +1,90 @@
+open Reseed_atpg
+open Reseed_fault
+open Reseed_netlist
+
+let check = Alcotest.(check bool)
+
+let test_basics () =
+  check "of_bool" true (Ternary.of_bool true = Ternary.T);
+  check "to_bool" true (Ternary.to_bool Ternary.T);
+  check "known X" false (Ternary.known Ternary.X);
+  check "not X" true (Ternary.v_not Ternary.X = Ternary.X);
+  check "not T" true (Ternary.v_not Ternary.T = Ternary.F);
+  Alcotest.check_raises "to_bool X" (Invalid_argument "Ternary.to_bool: X") (fun () ->
+      ignore (Ternary.to_bool Ternary.X))
+
+let test_x_propagation () =
+  let open Ternary in
+  (* controlling value dominates X *)
+  check "and 0,X = 0" true (eval Gate.And [| F; X |] = F);
+  check "and 1,X = X" true (eval Gate.And [| T; X |] = X);
+  check "or 1,X = 1" true (eval Gate.Or [| T; X |] = T);
+  check "or 0,X = X" true (eval Gate.Or [| F; X |] = X);
+  check "nand 0,X = 1" true (eval Gate.Nand [| F; X |] = T);
+  check "nor 1,X = 0" true (eval Gate.Nor [| T; X |] = F);
+  check "xor X = X" true (eval Gate.Xor [| T; X |] = X);
+  check "xnor X = X" true (eval Gate.Xnor [| F; X |] = X);
+  check "buf X" true (eval Gate.Buf [| X |] = X);
+  check "const" true (eval Gate.Const0 [||] = F)
+
+(* Ternary simulation restricted to fully-known inputs must agree with the
+   boolean simulator. *)
+let test_agrees_with_bool_sim () =
+  let c = Library.c17 () in
+  for p = 0 to 31 do
+    let pattern = Array.init 5 (fun i -> p lsr i land 1 = 1) in
+    let tern = Array.map Ternary.of_bool pattern in
+    let tv = Ternary.simulate c tern () in
+    let bv = Reseed_sim.Logic_sim.simulate_bool c pattern in
+    Array.iteri
+      (fun i b ->
+        if Ternary.of_bool b <> tv.(i) then Alcotest.failf "node %d pattern %d" i p)
+      bv
+  done
+
+let test_all_x_gives_x_outputs () =
+  let c = Library.c17 () in
+  let tv = Ternary.simulate c (Array.make 5 Ternary.X) () in
+  Array.iter (fun o -> check "PO is X" true (tv.(o) = Ternary.X)) c.Circuit.outputs
+
+let test_fault_injection_out () =
+  let c = Library.c17 () in
+  let node = Circuit.find c "22" in
+  let fault = { Fault.site = Fault.Out node; stuck = true } in
+  let tv = Ternary.simulate c (Array.make 5 Ternary.X) ~fault () in
+  check "pinned to 1" true (tv.(node) = Ternary.T)
+
+let test_fault_injection_pin () =
+  (* Branch fault: only the faulted gate sees the forced value. *)
+  let b = Circuit.Builder.create "pin" in
+  let x = Circuit.Builder.add_input b "x" in
+  let g1 = Circuit.Builder.add_gate b Gate.Buf [ x ] "g1" in
+  let g2 = Circuit.Builder.add_gate b Gate.Buf [ x ] "g2" in
+  Circuit.Builder.mark_output b g1;
+  Circuit.Builder.mark_output b g2;
+  let c = Circuit.Builder.finalize b in
+  let fault = { Fault.site = Fault.Pin { gate = Circuit.find c "g1"; pin = 0 }; stuck = true } in
+  let tv = Ternary.simulate c [| Ternary.F |] ~fault () in
+  check "faulted gate forced" true (tv.(Circuit.find c "g1") = Ternary.T);
+  check "sibling unaffected" true (tv.(Circuit.find c "g2") = Ternary.F)
+
+let test_error_detection () =
+  let good = [| Ternary.T; Ternary.X; Ternary.T |] in
+  let faulty = [| Ternary.F; Ternary.T; Ternary.T |] in
+  check "error at 0" true (Ternary.error ~good ~faulty 0);
+  check "no error with X" false (Ternary.error ~good ~faulty 1);
+  check "no error equal" false (Ternary.error ~good ~faulty 2)
+
+let suite =
+  [
+    ( "ternary",
+      [
+        Alcotest.test_case "basics" `Quick test_basics;
+        Alcotest.test_case "X propagation" `Quick test_x_propagation;
+        Alcotest.test_case "agrees with boolean sim" `Quick test_agrees_with_bool_sim;
+        Alcotest.test_case "all-X inputs" `Quick test_all_x_gives_x_outputs;
+        Alcotest.test_case "Out fault injection" `Quick test_fault_injection_out;
+        Alcotest.test_case "Pin fault injection" `Quick test_fault_injection_pin;
+        Alcotest.test_case "error predicate" `Quick test_error_detection;
+      ] );
+  ]

@@ -1,0 +1,75 @@
+open Reseed_atpg
+open Reseed_netlist
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_inputs_unit_cost () =
+  let c = Library.c17 () in
+  let tb = Testability.compute c in
+  Array.iter
+    (fun i ->
+      check_int "cc0 of PI" 1 tb.Testability.cc0.(i);
+      check_int "cc1 of PI" 1 tb.Testability.cc1.(i))
+    c.Circuit.inputs
+
+let test_po_observable () =
+  let c = Library.c17 () in
+  let tb = Testability.compute c in
+  Array.iter (fun o -> check_int "PO co" 0 tb.Testability.co.(o)) c.Circuit.outputs
+
+let test_and_gate_costs () =
+  let b = Circuit.Builder.create "and" in
+  let x = Circuit.Builder.add_input b "x" in
+  let y = Circuit.Builder.add_input b "y" in
+  let g = Circuit.Builder.add_gate b Gate.And [ x; y ] "g" in
+  Circuit.Builder.mark_output b g;
+  let c = Circuit.Builder.finalize b in
+  let tb = Testability.compute c in
+  let gi = Circuit.find c "g" in
+  (* CC1(AND) = CC1(x)+CC1(y)+1 = 3; CC0 = min+1 = 2 *)
+  check_int "cc1 and" 3 tb.Testability.cc1.(gi);
+  check_int "cc0 and" 2 tb.Testability.cc0.(gi);
+  (* observing x requires y=1: co = 0 + cc1(y) + 1 = 2 *)
+  check_int "co x" 2 tb.Testability.co.(Circuit.find c "x")
+
+let test_wide_and_harder () =
+  (* controllability-to-1 grows with AND width *)
+  let build w =
+    let b = Circuit.Builder.create "w" in
+    let ins = List.init w (fun i -> Circuit.Builder.add_input b (Printf.sprintf "x%d" i)) in
+    let g = Circuit.Builder.add_gate b Gate.And ins "g" in
+    Circuit.Builder.mark_output b g;
+    Circuit.Builder.finalize b
+  in
+  let cost w =
+    let c = build w in
+    (Testability.compute c).Testability.cc1.(Circuit.find c "g")
+  in
+  check "wider is harder" true (cost 8 > cost 3)
+
+let test_cost_to_set () =
+  let c = Library.c17 () in
+  let tb = Testability.compute c in
+  check_int "cost 0" tb.Testability.cc0.(0) (Testability.cost_to_set tb 0 false);
+  check_int "cost 1" tb.Testability.cc1.(0) (Testability.cost_to_set tb 0 true)
+
+let test_xor_symmetric () =
+  let c = Library.parity 4 in
+  let tb = Testability.compute c in
+  let root = c.Circuit.outputs.(0) in
+  (* balanced XOR tree: setting to 0 or 1 costs the same *)
+  check_int "xor cc0 = cc1" tb.Testability.cc0.(root) tb.Testability.cc1.(root)
+
+let suite =
+  [
+    ( "testability",
+      [
+        Alcotest.test_case "PI unit costs" `Quick test_inputs_unit_cost;
+        Alcotest.test_case "PO observability zero" `Quick test_po_observable;
+        Alcotest.test_case "AND gate SCOAP costs" `Quick test_and_gate_costs;
+        Alcotest.test_case "wider AND harder" `Quick test_wide_and_harder;
+        Alcotest.test_case "cost_to_set" `Quick test_cost_to_set;
+        Alcotest.test_case "xor symmetric" `Quick test_xor_symmetric;
+      ] );
+  ]
