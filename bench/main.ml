@@ -13,7 +13,14 @@
      RESEED_BENCH_SCALE=N  divisor applied to the biggest circuits' specs
                            (default 4; set 1 for the unscaled suite).
      RESEED_BENCH_CSV=DIR  also dump table1.csv / table2.csv / figure2.csv
-                           into DIR for plotting. *)
+                           into DIR for plotting.
+     RESEED_BENCH_JSON=F   machine-readable run summary path (default
+                           BENCH_reseed.json in the working directory).
+     RESEED_COLLAPSE=0     disable structural fault collapsing (on by
+                           default here: one simulated representative per
+                           equivalence/dominance class).
+     RESEED_JOBS=N         worker-domain count for the parallel phases
+                           (default: the machine's recommended count). *)
 
 open Reseed_core
 open Reseed_gatsby
@@ -32,6 +39,61 @@ let scale_factor =
 let log fmt = Printf.printf (fmt ^^ "\n%!")
 
 let csv_dir = Sys.getenv_opt "RESEED_BENCH_CSV"
+
+let collapse_on =
+  match Sys.getenv_opt "RESEED_COLLAPSE" with Some "0" -> false | _ -> true
+
+let bench_json_path =
+  match Sys.getenv_opt "RESEED_BENCH_JSON" with
+  | Some p -> p
+  | None -> "BENCH_reseed.json"
+
+(* Per-circuit wall-clock / work accounting feeding BENCH_reseed.json. *)
+type circuit_stats = {
+  mutable prep_s : float;
+  mutable table1_s : float;
+  mutable fault_sims : int;
+  mutable universe_faults : int;
+  mutable rep_faults : int;
+}
+
+let stats : (string, circuit_stats) Hashtbl.t = Hashtbl.create 16
+let stats_order : string list ref = ref []
+
+let stats_for name =
+  match Hashtbl.find_opt stats name with
+  | Some s -> s
+  | None ->
+      let s =
+        { prep_s = 0.0; table1_s = 0.0; fault_sims = 0; universe_faults = 0; rep_faults = 0 }
+      in
+      Hashtbl.add stats name s;
+      stats_order := name :: !stats_order;
+      s
+
+let write_bench_json ~total_s () =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "{\n";
+  pr "  \"suite\": \"%s\",\n" (if full_run then "full" else "quick");
+  pr "  \"jobs\": %d,\n" (Pool.default_jobs ());
+  pr "  \"collapse\": %b,\n" collapse_on;
+  pr "  \"scale_factor\": %d,\n" scale_factor;
+  pr "  \"circuits\": [";
+  List.iteri
+    (fun i name ->
+      let s = Hashtbl.find stats name in
+      pr "%s\n    { \"name\": \"%s\", \"prep_s\": %.3f, \"table1_s\": %.3f, \"fault_sims\": %d, \"universe_faults\": %d, \"simulated_faults\": %d }"
+        (if i = 0 then "" else ",")
+        name s.prep_s s.table1_s s.fault_sims s.universe_faults s.rep_faults)
+    (List.rev !stats_order);
+  pr "\n  ],\n";
+  pr "  \"total_s\": %.3f\n" total_s;
+  pr "}\n";
+  let oc = open_out bench_json_path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc (Buffer.contents buf));
+  log "  [json] wrote %s" bench_json_path
 
 let dump_csv name contents =
   match csv_dir with
@@ -60,14 +122,29 @@ let prepare name =
   | Some p -> p
   | None ->
       let t0 = Unix.gettimeofday () in
-      let p = Suite.prepare ~scale_factor:(scale_for name) name in
-      log "  [prep] %s: %d PIs, %d gates, %d ATPG patterns, %d target faults (%.1fs)"
+      let p = Suite.prepare ~scale_factor:(scale_for name) ~collapse:collapse_on name in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let s = stats_for name in
+      s.prep_s <- elapsed;
+      (match p.Suite.collapse with
+      | Some c ->
+          s.universe_faults <- Reseed_fault.Collapse.universe_count c;
+          s.rep_faults <- Reseed_fault.Collapse.rep_count c
+      | None ->
+          s.universe_faults <- Array.length (Reseed_fault.Fault.universe p.Suite.circuit);
+          s.rep_faults <- Reseed_fault.Fault_sim.fault_count p.Suite.sim);
+      log "  [prep] %s: %d PIs, %d gates, %d ATPG patterns, %d target faults%s (%.1fs)"
         name
         (Circuit.input_count p.Suite.circuit)
         (Circuit.gate_count p.Suite.circuit)
         (Array.length p.Suite.tests)
         (Bitvec.count p.Suite.targets)
-        (Unix.gettimeofday () -. t0);
+        (match p.Suite.collapse with
+        | Some c ->
+            Printf.sprintf " (%d classes, -%.0f%%)" (Reseed_fault.Collapse.rep_count c)
+              (Reseed_fault.Collapse.reduction_pct c)
+        | None -> "")
+        elapsed;
       Hashtbl.add prepared name p;
       p
 
@@ -80,7 +157,15 @@ let run_table1 () =
         let with_gatsby = Circuit.gate_count p.Suite.circuit <= gatsby_gate_limit in
         let t0 = Unix.gettimeofday () in
         let row = Suite.table1_row ~with_gatsby p in
-        log "  [t1] %s done (%.1fs)" name (Unix.gettimeofday () -. t0);
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let s = stats_for name in
+        s.table1_s <- elapsed;
+        s.fault_sims <-
+          List.fold_left
+            (fun acc e ->
+              acc + e.Suite.sc_fault_sims + Option.value ~default:0 e.Suite.gatsby_fault_sims)
+            0 row.Suite.entries;
+        log "  [t1] %s done (%.1fs)" name elapsed;
         row)
       (suite_names ())
   in
@@ -293,4 +378,7 @@ let () =
   | other ->
       Printf.eprintf "unknown bench %S (table1|table2|figure2|ablation|micro|all)\n" other;
       exit 2);
-  log "\nTotal bench time: %.1fs" (Unix.gettimeofday () -. t0)
+  let total_s = Unix.gettimeofday () -. t0 in
+  write_bench_json ~total_s ();
+  log "\nTotal bench time: %.1fs (jobs=%d, collapse=%b)" total_s (Pool.default_jobs ())
+    collapse_on

@@ -42,6 +42,8 @@ val fault_coverage : Fault_sim.t -> result -> float
 (** [run ?config sim] generates tests for every fault of [sim]'s list. *)
 val run : ?config:config -> Fault_sim.t -> result
 
-(** [run_circuit ?config c] builds the collapsed fault list and simulator,
+(** [run_circuit ?config ?faults c] builds the fault list ([faults]
+    defaults to the equivalence-collapsed [Fault.all c]; pass
+    [Collapse.reps] for class-collapsed simulation) and the simulator,
     then runs the flow; returns the simulator too. *)
-val run_circuit : ?config:config -> Circuit.t -> Fault_sim.t * result
+val run_circuit : ?config:config -> ?faults:Fault.t array -> Circuit.t -> Fault_sim.t * result

@@ -1,0 +1,161 @@
+open Reseed_netlist
+open Reseed_util
+
+type t = {
+  universe : Fault.t array;
+  all : Fault.t array;  (* equivalence representatives = Fault.all *)
+  reps : Fault.t array;  (* simulation list, ⊆ all *)
+  rep_of_universe : int array;  (* universe idx -> all idx of its class rep *)
+  rep_index : int array;  (* all idx -> reps idx, -1 when dominance-removed *)
+  resolved : int array array;  (* all idx -> reps idxs whose detection implies it *)
+}
+
+(* Canonical equivalence representative of a fault, following exactly the
+   folds [Fault.collapse] applies when filtering: controlling-value input
+   faults into the gate output, BUF/NOT input and single-fanout stem
+   faults downstream (flipping polarity through NOT).  Terminates because
+   every fold moves strictly toward the primary outputs. *)
+let rec canon c (fault : Fault.t) =
+  let kind g = c.Circuit.nodes.(g).Circuit.kind in
+  let out g stuck = canon c { Fault.site = Fault.Out g; stuck } in
+  match fault.Fault.site with
+  | Fault.Pin { gate; pin = _ } -> (
+      match (kind gate, fault.Fault.stuck) with
+      | Gate.Buf, s -> out gate s
+      | Gate.Not, s -> out gate (not s)
+      | Gate.And, false -> out gate false
+      | Gate.Nand, false -> out gate true
+      | Gate.Or, true -> out gate true
+      | Gate.Nor, true -> out gate false
+      | _ -> fault)
+  | Fault.Out g -> (
+      if Array.exists (fun o -> o = g) c.Circuit.outputs then fault
+      else
+        match c.Circuit.fanouts.(g) with
+        | [| sink |] -> (
+            match kind sink with
+            | Gate.Buf -> out sink fault.Fault.stuck
+            | Gate.Not -> out sink (not fault.Fault.stuck)
+            | _ -> fault)
+        | _ -> fault)
+
+let index_of faults =
+  let h = Hashtbl.create (Array.length faults * 2) in
+  Array.iteri (fun i f -> Hashtbl.replace h f i) faults;
+  h
+
+(* Dominating input faults of a dominance-removed gate-output fault, as
+   concrete universe faults: the fanout branch when the stem fans out,
+   the stem's own output fault otherwise.  Constant stems dominate
+   nothing. *)
+let dominator_faults c g ~input_stuck =
+  let node = c.Circuit.nodes.(g) in
+  let acc = ref [] in
+  Array.iteri
+    (fun pin stem ->
+      match c.Circuit.nodes.(stem).Circuit.kind with
+      | Gate.Const0 | Gate.Const1 -> ()
+      | _ ->
+          let site =
+            if Array.length c.Circuit.fanouts.(stem) > 1 then
+              Fault.Pin { gate = g; pin }
+            else Fault.Out stem
+          in
+          acc := { Fault.site; stuck = input_stuck } :: !acc)
+    node.Circuit.fanins;
+  !acc
+
+let compute ?(dominance = true) c =
+  let universe = Fault.universe c in
+  let all = Fault.all c in
+  let reps = if dominance then Fault.all_collapsed c else all in
+  let all_idx = index_of all in
+  let reps_idx = index_of reps in
+  let idx_in h f what =
+    match Hashtbl.find_opt h f with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Collapse.compute: %s not in collapsed list (%s)"
+             (Fault.to_string c f) what)
+  in
+  let rep_of_universe =
+    Array.map (fun f -> idx_in all_idx (canon c f) "equivalence") universe
+  in
+  let rep_index =
+    Array.map
+      (fun f -> match Hashtbl.find_opt reps_idx f with Some i -> i | None -> -1)
+      all
+  in
+  (* Resolve dominance impliers transitively down to surviving reps.  The
+     implication edges point strictly toward the primary inputs, so the
+     memoized recursion terminates. *)
+  let n_all = Array.length all in
+  let resolved = Array.make n_all [||] in
+  let visited = Array.make n_all false in
+  let rec resolve ai =
+    if not visited.(ai) then begin
+      visited.(ai) <- true;
+      if rep_index.(ai) >= 0 then resolved.(ai) <- [| rep_index.(ai) |]
+      else begin
+        let g, input_stuck =
+          match all.(ai) with
+          | { Fault.site = Fault.Out g; stuck = _ } -> (
+              match c.Circuit.nodes.(g).Circuit.kind with
+              | Gate.And | Gate.Nand -> (g, true)
+              | Gate.Or | Gate.Nor -> (g, false)
+              | _ -> invalid_arg "Collapse.compute: unexpected dominance removal")
+          | _ -> invalid_arg "Collapse.compute: dominance removed a branch fault"
+        in
+        let impliers =
+          List.map
+            (fun f -> idx_in all_idx (canon c f) "dominator")
+            (dominator_faults c g ~input_stuck)
+        in
+        List.iter resolve impliers;
+        resolved.(ai) <-
+          Array.of_list
+            (List.sort_uniq Stdlib.compare
+               (List.concat_map (fun i -> Array.to_list resolved.(i)) impliers))
+      end
+    end
+  in
+  for ai = 0 to n_all - 1 do
+    resolve ai
+  done;
+  { universe; all; reps; rep_of_universe; rep_index; resolved }
+
+let universe t = t.universe
+let reps t = t.reps
+let universe_count t = Array.length t.universe
+let rep_count t = Array.length t.reps
+let equivalence_count t = Array.length t.all
+
+let reduction_pct t =
+  100.0 *. (1.0 -. (float_of_int (rep_count t) /. float_of_int (universe_count t)))
+
+let check_length t detected =
+  if Bitvec.length detected <> Array.length t.reps then
+    invalid_arg "Collapse.expand: detection set not over the representatives"
+
+let all_detected t detected ai =
+  Array.exists (fun ri -> Bitvec.get detected ri) t.resolved.(ai)
+
+let expand_to_all t detected =
+  check_length t detected;
+  let out = Bitvec.create (Array.length t.all) in
+  Array.iteri
+    (fun ai _ -> if all_detected t detected ai then Bitvec.set out ai)
+    t.all;
+  out
+
+let expand t detected =
+  check_length t detected;
+  let out = Bitvec.create (Array.length t.universe) in
+  Array.iteri
+    (fun ui ai -> if all_detected t detected ai then Bitvec.set out ui)
+    t.rep_of_universe;
+  out
+
+let coverage_pct t detected =
+  Stats.pct (Bitvec.count (expand t detected)) (universe_count t)

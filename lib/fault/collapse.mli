@@ -1,0 +1,63 @@
+(** Structural fault-class collapsing with coverage expansion.
+
+    {!Fault.collapse} / {!Fault.all_collapsed} shrink the fault {i list};
+    this module additionally keeps the {i classes} — which universe faults
+    each surviving representative stands for — so a detection result
+    computed over the representatives expands back to coverage over the
+    full uncollapsed universe:
+
+    - {b equivalence} classes (BUF/NOT chains followed transitively,
+      controlling-value input/output folds on AND/NAND/OR/NOR, fanout-free
+      branch folding) are exact: a member is detected by precisely the
+      patterns detecting its representative;
+    - {b dominance} removals (gate-output faults in the dominated sense)
+      are implied: the removed fault is detected whenever one of its
+      dominating input faults is, resolved transitively down to surviving
+      representatives.  Expansion through dominance is therefore a sound
+      lower bound on true coverage (the standard accounting of collapsed
+      fault simulators).
+
+    Simulating only the representatives cuts the fault list by roughly a
+    third on the ISCAS-style circuits while {!expand} restores
+    universe-level reporting. *)
+
+open Reseed_netlist
+open Reseed_util
+
+type t
+
+(** [compute ?dominance c] builds the class structure for [c].
+    [dominance] (default [true]) additionally removes dominated
+    gate-output faults, i.e. representatives are {!Fault.all_collapsed};
+    with [~dominance:false] they are exactly {!Fault.all} and {!expand}
+    is exact. *)
+val compute : ?dominance:bool -> Circuit.t -> t
+
+(** The full uncollapsed fault list, {!Fault.universe} order. *)
+val universe : t -> Fault.t array
+
+(** The representatives to simulate, in the order fixing the fault
+    indexing of any simulator built over them. *)
+val reps : t -> Fault.t array
+
+val universe_count : t -> int
+val rep_count : t -> int
+
+(** Size of the equivalence-collapsed list ({!Fault.all}), between
+    [rep_count] and [universe_count]. *)
+val equivalence_count : t -> int
+
+(** [reduction_pct t] is the list-size cut, [100 * (1 - reps/universe)]. *)
+val reduction_pct : t -> float
+
+(** [expand t detected] maps a detection set over {!reps} to the implied
+    detection set over {!universe}. *)
+val expand : t -> Bitvec.t -> Bitvec.t
+
+(** [expand_to_all t detected] — same, but over the equivalence-collapsed
+    list ({!Fault.all} indexing). *)
+val expand_to_all : t -> Bitvec.t -> Bitvec.t
+
+(** [coverage_pct t detected] is the expanded universe coverage of a
+    detection set over {!reps}, as a percentage. *)
+val coverage_pct : t -> Bitvec.t -> float

@@ -34,6 +34,36 @@ let create circuit faults =
     sims = 0;
   }
 
+(* Fresh scratch over the same immutable circuit/fault/PO-map arrays: the
+   copy can run [process] concurrently with the original from another
+   domain.  Its sim counter starts at zero so per-worker tallies can be
+   summed back with [merge_sims]. *)
+let copy t =
+  let n = Circuit.node_count t.circuit in
+  {
+    t with
+    stamp = Array.make n (-1);
+    fval = Array.make n 0;
+    heap = Array.make (max 16 n) 0;
+    heap_len = 0;
+    in_heap = Array.make n (-1);
+    cur = -1;
+    sims = 0;
+  }
+
+let shard t n =
+  if n < 1 then invalid_arg "Fault_sim.shard: need at least one shard";
+  Array.init n (fun i -> if i = 0 then t else copy t)
+
+let merge_sims ~into shards =
+  Array.iter
+    (fun s ->
+      if s != into then begin
+        into.sims <- into.sims + s.sims;
+        s.sims <- 0
+      end)
+    shards
+
 let circuit t = t.circuit
 let faults t = t.faults
 let fault_count t = Array.length t.faults
@@ -147,16 +177,20 @@ let process t (good : int array) mask (fault : Fault.t) =
     !detect
   end
 
-let iter_blocks t patterns f =
-  let blocks = Logic_sim.pack_all t.circuit patterns in
+(* Blocks are packed and good-simulated one at a time so that [stop] — the
+   fault-dropping early exit — skips the good-machine work of every block
+   past the one where the last active fault was found. *)
+let iter_blocks ?(stop = fun () -> false) t patterns f =
+  let total = Array.length patterns in
   let base = ref 0 in
-  List.iter
-    (fun (block : Logic_sim.block) ->
-      let good = Logic_sim.simulate t.circuit block in
-      let mask = Logic_sim.valid_mask block.Logic_sim.width in
-      f ~base:!base ~good ~mask;
-      base := !base + block.Logic_sim.width)
-    blocks
+  while !base < total && not (stop ()) do
+    let len = min Logic_sim.block_width (total - !base) in
+    let block = Logic_sim.pack t.circuit (Array.sub patterns !base len) in
+    let good = Logic_sim.simulate t.circuit block in
+    let mask = Logic_sim.valid_mask block.Logic_sim.width in
+    f ~base:!base ~good ~mask;
+    base := !base + len
+  done
 
 let detection_map t patterns =
   let total = Array.length patterns in
@@ -176,18 +210,30 @@ let detected_set t patterns ~active =
   if Bitvec.length active <> fault_count t then
     invalid_arg "Fault_sim.detected_set: active mask size mismatch";
   let detected = Bitvec.create (fault_count t) in
-  iter_blocks t patterns (fun ~base:_ ~good ~mask ->
+  let remaining = ref (Bitvec.count active) in
+  iter_blocks ~stop:(fun () -> !remaining = 0) t patterns
+    (fun ~base:_ ~good ~mask ->
       Array.iteri
         (fun fi fault ->
           if Bitvec.get active fi && not (Bitvec.get detected fi) then
-            if process t good mask fault <> 0 then Bitvec.set detected fi)
+            if process t good mask fault <> 0 then begin
+              Bitvec.set detected fi;
+              decr remaining
+            end)
         t.faults);
   detected
 
 let first_detections t ?active patterns =
   let result = Array.make (fault_count t) None in
   let live fi = match active with None -> true | Some a -> Bitvec.get a fi in
-  iter_blocks t patterns (fun ~base ~good ~mask ->
+  let remaining =
+    ref
+      (match active with
+      | None -> fault_count t
+      | Some a -> Bitvec.count a)
+  in
+  iter_blocks ~stop:(fun () -> !remaining = 0) t patterns
+    (fun ~base ~good ~mask ->
       Array.iteri
         (fun fi fault ->
           if live fi && result.(fi) = None then begin
@@ -195,7 +241,8 @@ let first_detections t ?active patterns =
             if d <> 0 then begin
               let k = ref 0 in
               while d lsr !k land 1 = 0 do incr k done;
-              result.(fi) <- Some (base + !k)
+              result.(fi) <- Some (base + !k);
+              decr remaining
             end
           end)
         t.faults);

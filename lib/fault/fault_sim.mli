@@ -22,6 +22,23 @@ type t
     the fault indexing used by every result. *)
 val create : Circuit.t -> Fault.t array -> t
 
+(** [copy t] is a simulator over the same circuit and fault list with
+    fresh private scratch and a zeroed {!sims_performed} counter; it can
+    run concurrently with [t] from another domain (the shared arrays are
+    never written after {!create}). *)
+val copy : t -> t
+
+(** [shard t n] is the per-worker simulator array for an [n]-participant
+    parallel region: slot 0 is [t] itself, slots [1 .. n-1] are copies.
+    Pair with {!merge_sims} after the region so [t]'s counter accounts for
+    the whole region. *)
+val shard : t -> int -> t array
+
+(** [merge_sims ~into shards] adds every shard's counter into [into]'s
+    (skipping [into] itself) and zeroes the donors, so repeated merges
+    never double-count. *)
+val merge_sims : into:t -> t array -> unit
+
 val circuit : t -> Circuit.t
 val faults : t -> Fault.t array
 val fault_count : t -> int
@@ -36,12 +53,14 @@ val sims_performed : t -> int
 val detection_map : t -> bool array array -> Bitvec.t array
 
 (** [detected_set t patterns ~active] is the set of faults from [active]
-    detected by at least one pattern (with dropping inside the run). *)
+    detected by at least one pattern (with dropping inside the run).
+    Stops simulating blocks as soon as every active fault is detected. *)
 val detected_set : t -> bool array array -> active:Bitvec.t -> Bitvec.t
 
 (** [first_detections t ?active patterns] runs with fault dropping; result
     [i] is [Some p] when fault [i] is first detected by pattern [p].
-    Faults outside [active] (default: all) are skipped entirely. *)
+    Faults outside [active] (default: all) are skipped entirely.  Stops
+    simulating blocks as soon as every live fault has a first detection. *)
 val first_detections : t -> ?active:Bitvec.t -> bool array array -> int option array
 
 (** [count_new_detections t patterns ~active] is

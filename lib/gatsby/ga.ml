@@ -28,19 +28,25 @@ let default_config =
 
 type 'a outcome = { best : 'a; best_fitness : float; evaluations : int }
 
-let optimize ?(config = default_config) ~rng problem =
+let optimize ?(config = default_config) ?eval_batch ~rng problem =
   if config.population < 2 then invalid_arg "Ga.optimize: population must be >= 2";
   if config.elite >= config.population then invalid_arg "Ga.optimize: elite too large";
   let evaluations = ref 0 in
-  let eval g =
-    incr evaluations;
-    problem.fitness g
+  (* Genome creation (the only RNG consumer) stays sequential; fitness
+     evaluation happens in whole-cohort batches so a caller-supplied
+     [eval_batch] can fan the expensive evaluations out over domains.
+     The batch boundary does not change which genomes are created or in
+     which order, so results are independent of the evaluator. *)
+  let eval_all gs =
+    evaluations := !evaluations + Array.length gs;
+    match eval_batch with
+    | Some f -> f gs
+    | None -> Array.map problem.fitness gs
   in
+  let genomes = Array.init config.population (fun _ -> problem.init rng) in
+  let fits = eval_all genomes in
   (* Population kept sorted by descending fitness. *)
-  let scored = Array.init config.population (fun _ ->
-      let g = problem.init rng in
-      (g, eval g))
-  in
+  let scored = Array.init config.population (fun i -> (genomes.(i), fits.(i))) in
   let sort () =
     Array.sort (fun (_, a) (_, b) -> Float.compare b a) scored
   in
@@ -55,19 +61,25 @@ let optimize ?(config = default_config) ~rng problem =
     fst scored.(!best_i)
   in
   for _gen = 1 to config.generations do
+    let n_children = config.population - config.elite in
+    let children =
+      Array.init n_children (fun _ ->
+          let a = tournament_pick () in
+          let child =
+            if Rng.float rng < config.crossover_rate then
+              problem.crossover rng a (tournament_pick ())
+            else a
+          in
+          if Rng.float rng < config.mutation_rate then problem.mutate rng child
+          else child)
+    in
+    let child_fits = eval_all children in
     let next = Array.make config.population scored.(0) in
     for i = 0 to config.elite - 1 do
       next.(i) <- scored.(i)
     done;
-    for i = config.elite to config.population - 1 do
-      let a = tournament_pick () in
-      let child =
-        if Rng.float rng < config.crossover_rate then
-          problem.crossover rng a (tournament_pick ())
-        else a
-      in
-      let child = if Rng.float rng < config.mutation_rate then problem.mutate rng child else child in
-      next.(i) <- (child, eval child)
+    for k = 0 to n_children - 1 do
+      next.(config.elite + k) <- (children.(k), child_fits.(k))
     done;
     Array.blit next 0 scored 0 config.population;
     sort ();

@@ -31,6 +31,11 @@ type 'a outcome = {
   evaluations : int;  (** number of fitness calls performed *)
 }
 
-(** [optimize ?config ~rng problem] runs the GA and returns the best
-    genome ever seen. *)
-val optimize : ?config:config -> rng:Rng.t -> 'a problem -> 'a outcome
+(** [optimize ?config ?eval_batch ~rng problem] runs the GA and returns
+    the best genome ever seen.  Fitness is evaluated in whole-cohort
+    batches: [eval_batch] (default [Array.map problem.fitness]) may
+    compute the array in parallel — genome creation, which consumes the
+    RNG, is already finished when it is called, so the outcome is
+    identical whatever the evaluator's execution order. *)
+val optimize :
+  ?config:config -> ?eval_batch:('a array -> float array) -> rng:Rng.t -> 'a problem -> 'a outcome

@@ -62,7 +62,7 @@ let genome_problem ~width ~fitness =
         else { g with g_operand = flip_bits rng g.g_operand });
   }
 
-let run ?(config = default_config) sim tpg ~rng ~targets =
+let run ?(config = default_config) ?pool sim tpg ~rng ~targets =
   let nf = Fault_sim.fault_count sim in
   if Bitvec.length targets <> nf then invalid_arg "Gatsby.run: target mask size";
   let width = tpg.Tpg.width in
@@ -76,6 +76,24 @@ let run ?(config = default_config) sim tpg ~rng ~targets =
       ~operand:(tpg.Tpg.fix_operand g.g_operand)
       ~cycles:config.cycles
   in
+  (* Population members are evaluated in parallel: each worker
+     fault-simulates bursts on its own simulator shard against the shared
+     read-only [active] mask (only mutated between GA rounds).  The GA's
+     RNG never leaves the master domain, so the search trajectory is
+     bit-identical at every job count. *)
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let shard = Fault_sim.shard sim (Pool.jobs pool) in
+  let eval_batch genomes =
+    let out = Array.make (Array.length genomes) 0.0 in
+    Pool.parallel_for ~pool ~chunk:1 ~total:(Array.length genomes)
+      (fun ~worker ~lo ~hi ->
+        let s = shard.(worker) in
+        for i = lo to hi - 1 do
+          out.(i) <-
+            float_of_int (Fault_sim.count_new_detections s (burst genomes.(i)) ~active)
+        done);
+    out
+  in
   let coverage () = 100.0 *. float_of_int (Bitvec.count detected) /. float_of_int total_targets in
   let rounds = ref 0 and stalls = ref 0 and go = ref true in
   while !go && !rounds < config.max_rounds && coverage () < config.target_coverage do
@@ -84,7 +102,7 @@ let run ?(config = default_config) sim tpg ~rng ~targets =
       float_of_int (Fault_sim.count_new_detections sim (burst g) ~active)
     in
     let problem = genome_problem ~width ~fitness in
-    let outcome = Ga.optimize ~config:config.ga ~rng problem in
+    let outcome = Ga.optimize ~config:config.ga ~eval_batch ~rng problem in
     ga_evals := !ga_evals + outcome.Ga.evaluations;
     if outcome.Ga.best_fitness < 0.5 then begin
       incr stalls;
@@ -115,6 +133,7 @@ let run ?(config = default_config) sim tpg ~rng ~targets =
       test_length := !test_length + eff
     end
   done;
+  Fault_sim.merge_sims ~into:sim shard;
   {
     triplets = List.rev !triplets;
     detected;

@@ -32,9 +32,19 @@ type result = {
   ga_evaluations : int;
 }
 
-(** [run ?config sim tpg ~rng ~targets] hunts triplets until [targets] is
-    covered (or the configuration gives up).  [targets] restricts the
-    fault universe, mirroring the paper's "faults not covered by the
-    other triplets" accounting. *)
+(** [run ?config ?pool sim tpg ~rng ~targets] hunts triplets until
+    [targets] is covered (or the configuration gives up).  [targets]
+    restricts the fault universe, mirroring the paper's "faults not
+    covered by the other triplets" accounting.  GA fitness evaluations
+    (burst fault simulations) run in parallel over [pool] (default:
+    {!Pool.default}) on per-worker simulator shards; the GA's RNG stays
+    on the calling domain, so the search is bit-identical at every job
+    count. *)
 val run :
-  ?config:config -> Fault_sim.t -> Tpg.t -> rng:Rng.t -> targets:Bitvec.t -> result
+  ?config:config ->
+  ?pool:Pool.t ->
+  Fault_sim.t ->
+  Tpg.t ->
+  rng:Rng.t ->
+  targets:Bitvec.t ->
+  result

@@ -17,7 +17,7 @@ type t = {
   fault_sims : int;
 }
 
-let build sim tpg ~tests ~targets ~config =
+let build ?pool sim tpg ~tests ~targets ~config =
   let nf = Fault_sim.fault_count sim in
   if Bitvec.length targets <> nf then invalid_arg "Builder.build: target mask size";
   let width = tpg.Tpg.width in
@@ -33,6 +33,8 @@ let build sim tpg ~tests ~targets ~config =
     tpg.Tpg.fix_operand raw
   in
   let sims_before = Fault_sim.sims_performed sim in
+  (* Triplet construction stays sequential: the operand RNG stream is a
+     fixed function of the seed, independent of the job count. *)
   let triplets =
     Array.mapi
       (fun i pattern ->
@@ -42,12 +44,19 @@ let build sim tpg ~tests ~targets ~config =
           ~cycles:config.cycles)
       tests
   in
-  let useful_cycles = Array.make (Array.length triplets) 1 in
-  let rows =
-    Array.mapi
-      (fun i triplet ->
-        let burst = Triplet.patterns tpg triplet in
-        let firsts = Fault_sim.first_detections sim ~active:targets burst in
+  let n = Array.length triplets in
+  let useful_cycles = Array.make n 1 in
+  (* One task per matrix row; each worker fault-simulates on its own
+     simulator shard, and every write lands in the task's own row slot, so
+     the matrix is bit-identical at every job count. *)
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let shard = Fault_sim.shard sim (Pool.jobs pool) in
+  let rows = Array.make n (Bitvec.create 0) in
+  Pool.parallel_for ~pool ~chunk:1 ~total:n (fun ~worker ~lo ~hi ->
+      let s = shard.(worker) in
+      for i = lo to hi - 1 do
+        let burst = Triplet.patterns tpg triplets.(i) in
+        let firsts = Fault_sim.first_detections s ~active:targets burst in
         let row = Bitvec.create nf in
         Array.iteri
           (fun fi first ->
@@ -57,9 +66,9 @@ let build sim tpg ~tests ~targets ~config =
                 if p + 1 > useful_cycles.(i) then useful_cycles.(i) <- p + 1
             | _ -> ())
           firsts;
-        row)
-      triplets
-  in
+        rows.(i) <- row
+      done);
+  Fault_sim.merge_sims ~into:sim shard;
   let matrix = Matrix.of_rows ~cols:nf rows in
   {
     triplets;

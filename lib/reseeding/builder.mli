@@ -38,8 +38,13 @@ type t = {
   fault_sims : int;  (** injections spent building the matrix *)
 }
 
-(** [build sim tpg ~tests ~targets ~config] — [tests] is ATPGTS; [targets]
-    selects the fault list F among the simulator's faults.  Matrix columns
-    outside [targets] are left empty (they are not constraints). *)
+(** [build ?pool sim tpg ~tests ~targets ~config] — [tests] is ATPGTS;
+    [targets] selects the fault list F among the simulator's faults.
+    Matrix columns outside [targets] are left empty (they are not
+    constraints).  Matrix rows are fault-simulated in parallel over
+    [pool] (default: {!Pool.default}) on per-worker simulator shards; the
+    result — matrix, [useful_cycles] and [fault_sims] — is bit-identical
+    at every job count. *)
 val build :
+  ?pool:Pool.t ->
   Fault_sim.t -> Tpg.t -> tests:bool array array -> targets:Bitvec.t -> config:config -> t

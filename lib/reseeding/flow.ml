@@ -60,11 +60,11 @@ let truncate_solution sim tpg ~triplets ~targets rows =
     rows;
   (List.rev !final, active)
 
-let run ?(config = default_config) sim tpg ~tests ~targets =
+let run ?(config = default_config) ?pool sim tpg ~tests ~targets =
   let t0 = Unix.gettimeofday () in
   let sims_before = Fault_sim.sims_performed sim in
   let initial =
-    Builder.build sim tpg ~tests ~targets ~config:config.builder
+    Builder.build ?pool sim tpg ~tests ~targets ~config:config.builder
   in
   let row_weights =
     match config.objective with

@@ -43,11 +43,13 @@ type result = {
 (** [reseedings r] is the paper's “#Triplets”. *)
 val reseedings : result -> int
 
-(** [run ?config sim tpg ~tests ~targets] executes the whole flow.
+(** [run ?config ?pool sim tpg ~tests ~targets] executes the whole flow.
     [tests] is the deterministic test set (ATPGTS), [targets] the fault
-    list F. *)
+    list F.  [pool] is forwarded to the parallel Detection-Matrix build
+    ({!Builder.build}). *)
 val run :
   ?config:config ->
+  ?pool:Pool.t ->
   Fault_sim.t ->
   Tpg.t ->
   tests:bool array array ->

@@ -11,20 +11,32 @@ type prepared = {
   tests : bool array array;
   targets : Bitvec.t;
   atpg : Atpg.result;
+  collapse : Collapse.t option;
 }
 
-let prepare_circuit ?atpg_config circuit =
-  let sim, atpg = Atpg.run_circuit ?config:atpg_config circuit in
+let prepare_circuit ?atpg_config ?(collapse = false) circuit =
+  let classes = if collapse then Some (Collapse.compute circuit) else None in
+  let faults = Option.map Collapse.reps classes in
+  let sim, atpg = Atpg.run_circuit ?config:atpg_config ?faults circuit in
   {
     circuit;
     sim;
     tests = atpg.Atpg.tests;
     targets = atpg.Atpg.detected;
     atpg;
+    collapse = classes;
   }
 
-let prepare ?scale_factor ?atpg_config name =
-  prepare_circuit ?atpg_config (Library.load ?scale_factor name)
+let prepare ?scale_factor ?atpg_config ?collapse name =
+  prepare_circuit ?atpg_config ?collapse (Library.load ?scale_factor name)
+
+(* Universe-level coverage implied by a detection set over the prepared
+   fault list: expanded through the collapse classes when present,
+   otherwise reported over the (equivalence-collapsed) list itself. *)
+let expanded_coverage_pct p detected =
+  match p.collapse with
+  | Some cl -> Collapse.coverage_pct cl detected
+  | None -> Fault_sim.coverage_pct p.sim detected
 
 let paper_tpgs p = Accumulator.paper_tpgs (Circuit.input_count p.circuit)
 

@@ -17,14 +17,26 @@ type prepared = {
   tests : bool array array;  (** ATPGTS *)
   targets : Bitvec.t;  (** fault list F := faults ATPGTS covers *)
   atpg : Atpg.result;
+  collapse : Collapse.t option;
+      (** class structure when prepared with [~collapse:true]: [sim] then
+          runs over the class representatives only *)
 }
 
-(** [prepare ?scale_factor ?atpg_config name] loads a catalog circuit and
-    runs the ATPG front-end once. *)
-val prepare : ?scale_factor:int -> ?atpg_config:Atpg.config -> string -> prepared
+(** [prepare ?scale_factor ?atpg_config ?collapse name] loads a catalog
+    circuit and runs the ATPG front-end once.  [collapse] (default
+    [false]) simulates one representative per structural fault class
+    ({!Collapse}), shrinking every downstream fault-simulation. *)
+val prepare :
+  ?scale_factor:int -> ?atpg_config:Atpg.config -> ?collapse:bool -> string -> prepared
 
-(** [prepare_circuit ?atpg_config c] — same, for an arbitrary circuit. *)
-val prepare_circuit : ?atpg_config:Atpg.config -> Circuit.t -> prepared
+(** [prepare_circuit ?atpg_config ?collapse c] — same, for an arbitrary
+    circuit. *)
+val prepare_circuit : ?atpg_config:Atpg.config -> ?collapse:bool -> Circuit.t -> prepared
+
+(** [expanded_coverage_pct p detected] is universe-level coverage implied
+    by a detection set over [p.sim]'s fault list, expanded through the
+    collapse classes when present. *)
+val expanded_coverage_pct : prepared -> Bitvec.t -> float
 
 (** [paper_tpgs p] instantiates adder / multiplier / subtracter at the
     circuit's PI width. *)

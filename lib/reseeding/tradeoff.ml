@@ -1,16 +1,35 @@
+open Reseed_fault
+open Reseed_util
 
 type point = { cycles : int; triplets : int; test_length : int }
 
-let sweep ?(flow_config = Flow.default_config) sim tpg ~tests ~targets ~grid =
-  List.map
+let sweep ?(flow_config = Flow.default_config) ?pool sim tpg ~tests ~targets ~grid =
+  let grid = Array.of_list (List.sort compare grid) in
+  Array.iter
     (fun cycles ->
-      if cycles < 1 then invalid_arg "Tradeoff.sweep: cycles must be >= 1";
-      let config =
-        { flow_config with Flow.builder = { flow_config.Flow.builder with Builder.cycles } }
-      in
-      let r = Flow.run ~config sim tpg ~tests ~targets in
-      { cycles; triplets = Flow.reseedings r; test_length = r.Flow.test_length })
-    (List.sort compare grid)
+      if cycles < 1 then invalid_arg "Tradeoff.sweep: cycles must be >= 1")
+    grid;
+  (* Grid points are independent flows, so they run in parallel, each on
+     the executing worker's simulator shard.  A nested Builder.build then
+     degrades to its sequential path (the pool is busy), which keeps every
+     per-point result identical to a sequential sweep. *)
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let shard = Fault_sim.shard sim (Pool.jobs pool) in
+  let points = Array.make (Array.length grid) None in
+  Pool.parallel_for ~pool ~chunk:1 ~total:(Array.length grid)
+    (fun ~worker ~lo ~hi ->
+      let s = shard.(worker) in
+      for i = lo to hi - 1 do
+        let cycles = grid.(i) in
+        let config =
+          { flow_config with Flow.builder = { flow_config.Flow.builder with Builder.cycles } }
+        in
+        let r = Flow.run ~config s tpg ~tests ~targets in
+        points.(i) <-
+          Some { cycles; triplets = Flow.reseedings r; test_length = r.Flow.test_length }
+      done);
+  Fault_sim.merge_sims ~into:sim shard;
+  Array.to_list (Array.map (function Some p -> p | None -> assert false) points)
 
 let default_grid ~max_cycles =
   let rec go c acc = if c > max_cycles then List.rev acc else go (c * 2) (c :: acc) in

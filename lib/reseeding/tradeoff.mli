@@ -16,10 +16,14 @@ type point = {
   test_length : int;  (** truncated global test length *)
 }
 
-(** [sweep ?flow_config sim tpg ~tests ~targets ~grid] runs one flow per
-    grid entry (ascending) and returns one point per entry. *)
+(** [sweep ?flow_config ?pool sim tpg ~tests ~targets ~grid] runs one
+    flow per grid entry (ascending) and returns one point per entry.
+    Grid points run in parallel over [pool] (default: {!Pool.default}) on
+    per-worker simulator shards; the series is bit-identical at every job
+    count. *)
 val sweep :
   ?flow_config:Flow.config ->
+  ?pool:Pool.t ->
   Fault_sim.t ->
   Tpg.t ->
   tests:bool array array ->

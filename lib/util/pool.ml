@@ -1,0 +1,205 @@
+(* Fixed worker domains fed by a single mutex/condition queue.  One job is
+   in flight at a time; participants (the caller, slot 0, plus each worker
+   domain) claim contiguous index chunks with an atomic cursor, so the
+   schedule is dynamic but every index runs exactly once and lands in its
+   own result slot — results are independent of the job count. *)
+
+type job = {
+  id : int;
+  total : int;
+  chunk : int;
+  next : int Atomic.t;  (* next unclaimed index *)
+  failed : bool Atomic.t;  (* set on first exception: later chunks are skipped *)
+  body : worker:int -> lo:int -> hi:int -> unit;
+  jm : Mutex.t;  (* guards [completed] and [exn] *)
+  done_c : Condition.t;
+  mutable completed : int;  (* indices claimed and accounted for *)
+  mutable exn : exn option;
+}
+
+type state = Idle | Work of job | Stop
+
+type t = {
+  n_jobs : int;
+  m : Mutex.t;  (* guards [state] *)
+  ready : Condition.t;
+  mutable state : state;
+  mutable workers : unit Domain.t list;
+  busy : bool Atomic.t;  (* a region is running: nested calls degrade to inline *)
+  mutable next_id : int;
+  mutable shut : bool;
+}
+
+let jobs t = t.n_jobs
+
+let default_jobs () =
+  match Sys.getenv_opt "RESEED_JOBS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Every claimed chunk is accounted exactly once, run or skipped, so
+   [completed = total] is the completion condition even after a failure. *)
+let run_chunks j ~worker =
+  let continue = ref true in
+  while !continue do
+    let lo = Atomic.fetch_and_add j.next j.chunk in
+    if lo >= j.total then continue := false
+    else begin
+      let hi = min j.total (lo + j.chunk) in
+      (if not (Atomic.get j.failed) then
+         try j.body ~worker ~lo ~hi
+         with e ->
+           Atomic.set j.failed true;
+           Mutex.lock j.jm;
+           if j.exn = None then j.exn <- Some e;
+           Mutex.unlock j.jm);
+      Mutex.lock j.jm;
+      j.completed <- j.completed + (hi - lo);
+      if j.completed = j.total then Condition.broadcast j.done_c;
+      Mutex.unlock j.jm
+    end
+  done
+
+let rec worker_loop t ~slot ~last_id =
+  Mutex.lock t.m;
+  let rec wait () =
+    match t.state with
+    | Stop ->
+        Mutex.unlock t.m;
+        None
+    | Work j when j.id <> last_id ->
+        Mutex.unlock t.m;
+        Some j
+    | Idle | Work _ ->
+        Condition.wait t.ready t.m;
+        wait ()
+  in
+  match wait () with
+  | None -> ()
+  | Some j ->
+      run_chunks j ~worker:slot;
+      worker_loop t ~slot ~last_id:j.id
+
+let create ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      n_jobs = jobs;
+      m = Mutex.create ();
+      ready = Condition.create ();
+      state = Idle;
+      workers = [];
+      busy = Atomic.make false;
+      next_id = 0;
+      shut = false;
+    }
+  in
+  t.workers <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t ~slot:(i + 1) ~last_id:(-1)));
+  t
+
+let shutdown t =
+  let ws =
+    Mutex.lock t.m;
+    if t.shut then begin
+      Mutex.unlock t.m;
+      []
+    end
+    else begin
+      t.shut <- true;
+      t.state <- Stop;
+      Condition.broadcast t.ready;
+      Mutex.unlock t.m;
+      t.workers
+    end
+  in
+  List.iter Domain.join ws
+
+let with_pool ~jobs f =
+  let t = create ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_pool = ref None
+let default_m = Mutex.create ()
+
+let default () =
+  Mutex.lock default_m;
+  let t =
+    match !default_pool with
+    | Some t -> t
+    | None ->
+        let t = create ~jobs:(default_jobs ()) () in
+        default_pool := Some t;
+        at_exit (fun () -> shutdown t);
+        t
+  in
+  Mutex.unlock default_m;
+  t
+
+let resolve = function Some t -> t | None -> default ()
+
+let parallel_for ?pool ?chunk ~total body =
+  if total > 0 then begin
+    let t = resolve pool in
+    if t.n_jobs = 1 || t.shut || not (Atomic.compare_and_set t.busy false true)
+    then body ~worker:0 ~lo:0 ~hi:total
+    else
+      Fun.protect
+        ~finally:(fun () -> Atomic.set t.busy false)
+        (fun () ->
+          let chunk =
+            match chunk with
+            | Some c when c >= 1 -> c
+            | Some _ -> invalid_arg "Pool.parallel_for: chunk must be >= 1"
+            | None -> max 1 (total / (t.n_jobs * 8))
+          in
+          t.next_id <- t.next_id + 1;
+          let j =
+            {
+              id = t.next_id;
+              total;
+              chunk;
+              next = Atomic.make 0;
+              failed = Atomic.make false;
+              body;
+              jm = Mutex.create ();
+              done_c = Condition.create ();
+              completed = 0;
+              exn = None;
+            }
+          in
+          Mutex.lock t.m;
+          t.state <- Work j;
+          Condition.broadcast t.ready;
+          Mutex.unlock t.m;
+          run_chunks j ~worker:0;
+          Mutex.lock j.jm;
+          while j.completed < j.total do
+            Condition.wait j.done_c j.jm
+          done;
+          let e = j.exn in
+          Mutex.unlock j.jm;
+          Mutex.lock t.m;
+          t.state <- Idle;
+          Mutex.unlock t.m;
+          match e with Some e -> raise e | None -> ())
+  end
+
+let parallel_init ?pool ?chunk n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for ?pool ?chunk ~total:n (fun ~worker:_ ~lo ~hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f i)
+        done);
+    Array.map
+      (function Some v -> v | None -> assert false (* every index ran *))
+      out
+  end
+
+let parallel_map_array ?pool ?chunk f arr =
+  parallel_init ?pool ?chunk (Array.length arr) (fun i -> f arr.(i))

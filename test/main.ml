@@ -8,4 +8,5 @@ let () =
    @ Test_atpg.suite @ Test_tpg.suite @ Test_setcover.suite
    @ Test_sat.suite @ Test_satpg.suite
    @ Test_ga_gatsby.suite @ Test_flow.suite @ Test_fullscan_misr.suite
-   @ Test_diagnose.suite @ Test_properties.suite @ Test_robustness.suite @ Test_integration.suite)
+   @ Test_diagnose.suite @ Test_parallel.suite @ Test_properties.suite
+   @ Test_robustness.suite @ Test_integration.suite)
