@@ -6,6 +6,7 @@
      figure2  — Figure 2: reseedings vs test length trade-off (s1238/adder)
      ablation — design-choice ablations called out in DESIGN.md
      micro    — bechamel micro-benchmarks of the hot kernels
+     enginecheck — cross-check the fault-simulation engines bit-for-bit
 
    Environment:
      RESEED_BENCH_FULL=1   run the full circuit suite (slow) instead of the
@@ -19,6 +20,12 @@
      RESEED_COLLAPSE=0     disable structural fault collapsing (on by
                            default here: one simulated representative per
                            equivalence/dominance class).
+     RESEED_ENGINE=E       fault-simulation engine: event | cpt | hybrid
+                           (default hybrid).
+     RESEED_BENCH_BASELINE=F
+                           embed a previously written summary (e.g. a
+                           sequential event-engine run) verbatim under the
+                           "baseline" key of the new summary.
      RESEED_JOBS=N         worker-domain count for the parallel phases
                            (default: the machine's recommended count). *)
 
@@ -43,6 +50,16 @@ let csv_dir = Sys.getenv_opt "RESEED_BENCH_CSV"
 let collapse_on =
   match Sys.getenv_opt "RESEED_COLLAPSE" with Some "0" -> false | _ -> true
 
+let sim_engine =
+  match Sys.getenv_opt "RESEED_ENGINE" with
+  | None -> Reseed_fault.Fault_sim.Hybrid
+  | Some s -> (
+      match Reseed_fault.Fault_sim.engine_of_string s with
+      | Some e -> e
+      | None ->
+          Printf.eprintf "RESEED_ENGINE=%S: expected event|cpt|hybrid\n" s;
+          exit 2)
+
 let bench_json_path =
   match Sys.getenv_opt "RESEED_BENCH_JSON" with
   | Some p -> p
@@ -53,6 +70,8 @@ type circuit_stats = {
   mutable prep_s : float;
   mutable table1_s : float;
   mutable fault_sims : int;
+  mutable event_props : int;
+      (* cumulative event propagations on the circuit's simulator *)
   mutable universe_faults : int;
   mutable rep_faults : int;
 }
@@ -65,7 +84,14 @@ let stats_for name =
   | Some s -> s
   | None ->
       let s =
-        { prep_s = 0.0; table1_s = 0.0; fault_sims = 0; universe_faults = 0; rep_faults = 0 }
+        {
+          prep_s = 0.0;
+          table1_s = 0.0;
+          fault_sims = 0;
+          event_props = 0;
+          universe_faults = 0;
+          rep_faults = 0;
+        }
       in
       Hashtbl.add stats name s;
       stats_order := name :: !stats_order;
@@ -78,18 +104,32 @@ let write_bench_json ~total_s () =
   pr "  \"suite\": \"%s\",\n" (if full_run then "full" else "quick");
   pr "  \"jobs\": %d,\n" (Pool.default_jobs ());
   pr "  \"collapse\": %b,\n" collapse_on;
+  pr "  \"engine\": \"%s\",\n" (Reseed_fault.Fault_sim.engine_name sim_engine);
   pr "  \"scale_factor\": %d,\n" scale_factor;
   pr "  \"circuits\": [";
   List.iteri
     (fun i name ->
       let s = Hashtbl.find stats name in
-      pr "%s\n    { \"name\": \"%s\", \"prep_s\": %.3f, \"table1_s\": %.3f, \"fault_sims\": %d, \"universe_faults\": %d, \"simulated_faults\": %d }"
+      pr "%s\n    { \"name\": \"%s\", \"prep_s\": %.3f, \"table1_s\": %.3f, \"fault_sims\": %d, \"event_props\": %d, \"universe_faults\": %d, \"simulated_faults\": %d }"
         (if i = 0 then "" else ",")
-        name s.prep_s s.table1_s s.fault_sims s.universe_faults s.rep_faults)
+        name s.prep_s s.table1_s s.fault_sims s.event_props s.universe_faults
+        s.rep_faults)
     (List.rev !stats_order);
   pr "\n  ],\n";
-  pr "  \"total_s\": %.3f\n" total_s;
-  pr "}\n";
+  pr "  \"total_s\": %.3f" total_s;
+  (* A previous run's summary (typically RESEED_ENGINE=event RESEED_JOBS=1)
+     embeds verbatim so one file carries both sides of the comparison. *)
+  (match Sys.getenv_opt "RESEED_BENCH_BASELINE" with
+  | Some path when Sys.file_exists path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let contents =
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+            really_input_string ic len)
+      in
+      pr ",\n  \"baseline\": %s" (String.trim contents)
+  | _ -> ());
+  pr "\n}\n";
   let oc = open_out bench_json_path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
       output_string oc (Buffer.contents buf));
@@ -122,7 +162,10 @@ let prepare name =
   | Some p -> p
   | None ->
       let t0 = Unix.gettimeofday () in
-      let p = Suite.prepare ~scale_factor:(scale_for name) ~collapse:collapse_on name in
+      let p =
+        Suite.prepare ~scale_factor:(scale_for name) ~sim_engine
+          ~collapse:collapse_on name
+      in
       let elapsed = Unix.gettimeofday () -. t0 in
       let s = stats_for name in
       s.prep_s <- elapsed;
@@ -165,7 +208,8 @@ let run_table1 () =
             (fun acc e ->
               acc + e.Suite.sc_fault_sims + Option.value ~default:0 e.Suite.gatsby_fault_sims)
             0 row.Suite.entries;
-        log "  [t1] %s done (%.1fs)" name elapsed;
+        s.event_props <- Reseed_fault.Fault_sim.event_propagations p.Suite.sim;
+        log "  [t1] %s done (%.1fs, %d event propagations)" name elapsed s.event_props;
         row)
       (suite_names ())
   in
@@ -301,6 +345,47 @@ let run_ablation () =
     [ (6, 3); (10, 5); (12, 6); (16, 8); (24, 16) ];
   Table.print t2
 
+(* CI gate: every engine must grade every fault of every pattern
+   identically; exits non-zero on the first divergence.  Also prints the
+   propagation-count ratio the CPT engines buy. *)
+let run_enginecheck () =
+  log "== Engine cross-check (event vs cpt vs hybrid) ==";
+  let module FS = Reseed_fault.Fault_sim in
+  let mismatches = ref 0 in
+  List.iter
+    (fun name ->
+      let c = Library.load name in
+      let faults = Reseed_fault.Fault.all c in
+      let rng = Rng.create 97 in
+      let n = Circuit.input_count c in
+      let patterns = Array.init 150 (fun _ -> Array.init n (fun _ -> Rng.bool rng)) in
+      let grade engine =
+        let sim = FS.create ~engine c faults in
+        let map = FS.detection_map sim patterns in
+        let detections = Array.fold_left (fun acc row -> acc + Bitvec.count row) 0 map in
+        (map, detections, FS.event_propagations sim)
+      in
+      let ev_map, ev_det, ev_props = grade FS.Event in
+      List.iter
+        (fun engine ->
+          let map, det, props = grade engine in
+          let identical =
+            Array.length map = Array.length ev_map
+            && Array.for_all2 Bitvec.equal map ev_map
+          in
+          if not identical then incr mismatches;
+          log "  [%s] %-6s: %d detections (event %d), %d props (event %d, %.1fx)%s"
+            name (FS.engine_name engine) det ev_det props ev_props
+            (float_of_int ev_props /. float_of_int (max 1 props))
+            (if identical then "" else "  ** MISMATCH **"))
+        [ FS.Cpt; FS.Hybrid ])
+    [ "c17"; "c432"; "s420" ];
+  if !mismatches > 0 then begin
+    log "enginecheck FAILED: %d engine(s) diverged from the event oracle" !mismatches;
+    exit 1
+  end;
+  log "enginecheck OK: detection matrices bit-identical across engines"
+
 let run_micro () =
   log "== Micro-benchmarks (bechamel) ==";
   let open Bechamel in
@@ -365,6 +450,7 @@ let () =
   | "figure2" -> run_figure2 ()
   | "ablation" -> run_ablation ()
   | "micro" -> run_micro ()
+  | "enginecheck" -> run_enginecheck ()
   | "all" ->
       run_table1 ();
       print_newline ();
@@ -376,9 +462,14 @@ let () =
       print_newline ();
       run_micro ()
   | other ->
-      Printf.eprintf "unknown bench %S (table1|table2|figure2|ablation|micro|all)\n" other;
+      Printf.eprintf
+        "unknown bench %S (table1|table2|figure2|ablation|micro|enginecheck|all)\n" other;
       exit 2);
   let total_s = Unix.gettimeofday () -. t0 in
-  write_bench_json ~total_s ();
-  log "\nTotal bench time: %.1fs (jobs=%d, collapse=%b)" total_s (Pool.default_jobs ())
+  (* enginecheck is a pass/fail gate with no table stats; writing the
+     summary would clobber a real run's JSON in CI. *)
+  if mode <> "enginecheck" then write_bench_json ~total_s ();
+  log "\nTotal bench time: %.1fs (jobs=%d, engine=%s, collapse=%b)" total_s
+    (Pool.default_jobs ())
+    (Reseed_fault.Fault_sim.engine_name sim_engine)
     collapse_on

@@ -102,7 +102,7 @@ let run ?(config = default_config) sim =
     dropped_by_compaction = dropped;
   }
 
-let run_circuit ?config ?faults c =
+let run_circuit ?config ?sim_engine ?faults c =
   let faults = match faults with Some f -> f | None -> Fault.all c in
-  let sim = Fault_sim.create c faults in
+  let sim = Fault_sim.create ?engine:sim_engine c faults in
   (sim, run ?config sim)

@@ -42,8 +42,10 @@ val fault_coverage : Fault_sim.t -> result -> float
 (** [run ?config sim] generates tests for every fault of [sim]'s list. *)
 val run : ?config:config -> Fault_sim.t -> result
 
-(** [run_circuit ?config ?faults c] builds the fault list ([faults]
-    defaults to the equivalence-collapsed [Fault.all c]; pass
-    [Collapse.reps] for class-collapsed simulation) and the simulator,
+(** [run_circuit ?config ?sim_engine ?faults c] builds the fault list
+    ([faults] defaults to the equivalence-collapsed [Fault.all c]; pass
+    [Collapse.reps] for class-collapsed simulation) and the simulator
+    ([sim_engine] selects the {!Fault_sim.engine}, default [Hybrid]),
     then runs the flow; returns the simulator too. *)
-val run_circuit : ?config:config -> ?faults:Fault.t array -> Circuit.t -> Fault_sim.t * result
+val run_circuit :
+  ?config:config -> ?sim_engine:Fault_sim.engine -> ?faults:Fault.t array -> Circuit.t -> Fault_sim.t * result

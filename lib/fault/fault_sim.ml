@@ -2,53 +2,113 @@ open Reseed_netlist
 open Reseed_sim
 open Reseed_util
 
+type engine = Event | Cpt | Hybrid
+
+let engine_name = function Event -> "event" | Cpt -> "cpt" | Hybrid -> "hybrid"
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "event" -> Some Event
+  | "cpt" -> Some Cpt
+  | "hybrid" -> Some Hybrid
+  | _ -> None
+
 type t = {
   circuit : Circuit.t;
   faults : Fault.t array;
+  engine : engine;
+  ffr : Ffr.t;
   po_position : int array; (* node -> PO index, or -1 *)
-  (* Scratch reused across fault injections; [stamp]/[in_heap] hold the id
-     of the fault that last wrote them, so no clearing is ever needed. *)
+  prop_stems : int array;
+      (* stems whose observability needs a flip propagation — they reach a
+         PO without being one; descending (reverse-topological) order so
+         an eager sweep finishes downstream stems first *)
+  (* Event-propagation scratch reused across injections; [stamp]/[in_heap]
+     hold the id of the propagation that last wrote them, so no clearing
+     is ever needed. *)
   stamp : int array;
   fval : int array;
   heap : int array;
   mutable heap_len : int;
   in_heap : int array;
   mutable cur : int;
+  (* Per-block CPT scratch, invalidated by bumping [block]. *)
+  mutable block : int;
+  obs : int array; (* stem -> flip-observability word *)
+  obs_stamp : int array;
+  sens : int array; (* node -> word of patterns where flipping it is detected *)
+  sens_stamp : int array;
   mutable sims : int;
+  mutable props : int;
 }
 
-let create circuit faults =
+let scratch n =
+  ( Array.make n (-1),
+    Array.make n 0,
+    Array.make (max 16 n) 0,
+    Array.make n (-1),
+    Array.make n 0,
+    Array.make n (-1),
+    Array.make n 0,
+    Array.make n (-1) )
+
+let create ?(engine = Hybrid) circuit faults =
   let n = Circuit.node_count circuit in
   let po_position = Array.make n (-1) in
   Array.iteri (fun pos node -> po_position.(node) <- pos) circuit.Circuit.outputs;
+  let ffr = Ffr.compute circuit in
+  let prop_stems =
+    Array.fold_left
+      (fun acc s ->
+        if po_position.(s) < 0 && Ffr.reaches_po ffr s then s :: acc else acc)
+      [] (Ffr.stems ffr)
+    |> Array.of_list
+  in
+  let stamp, fval, heap, in_heap, obs, obs_stamp, sens, sens_stamp = scratch n in
   {
     circuit;
     faults;
+    engine;
+    ffr;
     po_position;
-    stamp = Array.make n (-1);
-    fval = Array.make n 0;
-    heap = Array.make (max 16 n) 0;
+    prop_stems;
+    stamp;
+    fval;
+    heap;
     heap_len = 0;
-    in_heap = Array.make n (-1);
+    in_heap;
     cur = -1;
+    block = 0;
+    obs;
+    obs_stamp;
+    sens;
+    sens_stamp;
     sims = 0;
+    props = 0;
   }
 
-(* Fresh scratch over the same immutable circuit/fault/PO-map arrays: the
-   copy can run [process] concurrently with the original from another
-   domain.  Its sim counter starts at zero so per-worker tallies can be
+(* Fresh scratch over the same immutable circuit/fault/FFR/PO-map arrays:
+   the copy can run [process] concurrently with the original from another
+   domain.  Its work counters start at zero so per-worker tallies can be
    summed back with [merge_sims]. *)
 let copy t =
   let n = Circuit.node_count t.circuit in
+  let stamp, fval, heap, in_heap, obs, obs_stamp, sens, sens_stamp = scratch n in
   {
     t with
-    stamp = Array.make n (-1);
-    fval = Array.make n 0;
-    heap = Array.make (max 16 n) 0;
+    stamp;
+    fval;
+    heap;
     heap_len = 0;
-    in_heap = Array.make n (-1);
+    in_heap;
     cur = -1;
+    block = 0;
+    obs;
+    obs_stamp;
+    sens;
+    sens_stamp;
     sims = 0;
+    props = 0;
   }
 
 let shard t n =
@@ -60,7 +120,9 @@ let merge_sims ~into shards =
     (fun s ->
       if s != into then begin
         into.sims <- into.sims + s.sims;
-        s.sims <- 0
+        into.props <- into.props + s.props;
+        s.sims <- 0;
+        s.props <- 0
       end)
     shards
 
@@ -68,6 +130,8 @@ let circuit t = t.circuit
 let faults t = t.faults
 let fault_count t = Array.length t.faults
 let sims_performed t = t.sims
+let event_propagations t = t.props
+let engine t = t.engine
 
 (* Min-heap over node indices: pops nodes in topological order so every
    fanin is final before a node is evaluated. *)
@@ -143,6 +207,8 @@ let eval_faulty t good i ~force_pin ~force_word =
   | Gate.Const0 -> 0
   | Gate.Const1 -> full
 
+(* --- Event engine: single-fault event-driven propagation -------------- *)
+
 (* Inject one fault against the good-machine block values and return the
    word of patterns that detect it at some primary output. *)
 let process t (good : int array) mask (fault : Fault.t) =
@@ -158,6 +224,7 @@ let process t (good : int array) mask (fault : Fault.t) =
   let diff0 = (site_value lxor good.(site)) land mask in
   if diff0 = 0 then 0
   else begin
+    t.props <- t.props + 1;
     t.stamp.(site) <- t.cur;
     t.fval.(site) <- site_value;
     let detect = ref (if t.po_position.(site) >= 0 then diff0 else 0) in
@@ -176,6 +243,168 @@ let process t (good : int array) mask (fault : Fault.t) =
     done;
     !detect
   end
+
+(* --- CPT engine: critical-path tracing over fanout-free regions ------- *)
+
+(* Word of patterns where flipping fanin [pin] of gate [i] flips the
+   gate's output, all other fanins held at their good values.  Gate-level
+   inversions (NAND/NOR/NOT/XNOR) don't affect whether a flip passes. *)
+let deriv t (good : int array) i ~pin =
+  let node = t.circuit.Circuit.nodes.(i) in
+  let fanins = node.Circuit.fanins in
+  let fold_others op seed =
+    let acc = ref seed in
+    for j = 0 to Array.length fanins - 1 do
+      if j <> pin then acc := op !acc good.(fanins.(j))
+    done;
+    !acc
+  in
+  match node.Circuit.kind with
+  | Gate.Buf | Gate.Not | Gate.Xor | Gate.Xnor -> full
+  | Gate.And | Gate.Nand -> fold_others ( land ) full
+  | Gate.Or | Gate.Nor -> lnot (fold_others ( lor ) 0) land full
+  | Gate.Input | Gate.Const0 | Gate.Const1 ->
+      (* gates with fanins only *)
+      assert false
+
+let pin_of t g p =
+  let fanins = t.circuit.Circuit.nodes.(g).Circuit.fanins in
+  let rec go j = if fanins.(j) = p then j else go (j + 1) in
+  go 0
+
+(* Observability word of stem [s]: patterns where complementing [s]
+   changes some primary output.  Exact for single faults funnelled through
+   [s] because the faulty machine downstream of [s] coincides, lane by
+   lane, with the flip simulation.  Computed by one event-driven
+   propagation of the flip; under [Hybrid] the propagation hands off early
+   when the difference frontier collapses onto a single downstream stem
+   whose observability is already known for this block — by construction
+   all remaining fault effects funnel through that stem (its fanout cone
+   is the only un-evaluated region left), which in practice fires at the
+   stem's immediate dominator chain. *)
+let compute_obs t (good : int array) mask s =
+  if not (Ffr.reaches_po t.ffr s) then 0
+  else if t.po_position.(s) >= 0 then mask (* flips are their own witness *)
+  else begin
+    t.cur <- t.cur + 1;
+    t.props <- t.props + 1;
+    t.stamp.(s) <- t.cur;
+    t.fval.(s) <- lnot good.(s) land full;
+    let detect = ref 0 in
+    t.heap_len <- 0;
+    Array.iter (fun q -> heap_push t q) t.circuit.Circuit.fanouts.(s);
+    let chain = t.engine = Hybrid in
+    let running = ref true in
+    while !running && t.heap_len > 0 do
+      if
+        chain && t.heap_len = 1
+        && Ffr.is_stem t.ffr t.heap.(0)
+        && t.obs_stamp.(t.heap.(0)) = t.block
+      then begin
+        let x = heap_pop t in
+        let v = eval_faulty t good x ~force_pin:(-1) ~force_word:0 in
+        let diff = (v lxor good.(x)) land mask in
+        detect := !detect lor (diff land t.obs.(x));
+        running := false
+      end
+      else begin
+        let i = heap_pop t in
+        let v = eval_faulty t good i ~force_pin:(-1) ~force_word:0 in
+        let diff = (v lxor good.(i)) land mask in
+        if diff <> 0 then begin
+          t.stamp.(i) <- t.cur;
+          t.fval.(i) <- v;
+          if t.po_position.(i) >= 0 then detect := !detect lor diff;
+          Array.iter (fun q -> heap_push t q) t.circuit.Circuit.fanouts.(i)
+        end
+      end
+    done;
+    !detect
+  end
+
+let obs t good mask s =
+  if t.obs_stamp.(s) = t.block then t.obs.(s)
+  else begin
+    let v = compute_obs t good mask s in
+    t.obs.(s) <- v;
+    t.obs_stamp.(s) <- t.block;
+    v
+  end
+
+(* Detectability of a flip appearing at node [n]: the chain of single-path
+   gate derivatives down to [n]'s FFR stem, ANDed with the stem's
+   observability.  Memoised per block along the walked path. *)
+let sens t good mask n =
+  if t.sens_stamp.(n) = t.block then t.sens.(n)
+  else begin
+    (* Ascend the unique fanout path to the first memoised node or stem;
+       [path] ends up ordered stem-side first. *)
+    let path = ref [] in
+    let top = ref n in
+    while t.sens_stamp.(!top) <> t.block && not (Ffr.is_stem t.ffr !top) do
+      path := !top :: !path;
+      top := t.circuit.Circuit.fanouts.(!top).(0)
+    done;
+    let acc = ref 0 in
+    if t.sens_stamp.(!top) = t.block then acc := t.sens.(!top)
+    else begin
+      acc := obs t good mask !top;
+      t.sens.(!top) <- !acc;
+      t.sens_stamp.(!top) <- t.block
+    end;
+    List.iter
+      (fun p ->
+        (if !acc <> 0 then
+           let g = t.circuit.Circuit.fanouts.(p).(0) in
+           acc := !acc land deriv t good g ~pin:(pin_of t g p));
+        t.sens.(p) <- !acc;
+        t.sens_stamp.(p) <- t.block)
+      !path;
+    !acc
+  end
+
+let process_cpt t (good : int array) mask (fault : Fault.t) =
+  t.sims <- t.sims + 1;
+  let stuck_word = if fault.Fault.stuck then full else 0 in
+  match fault.Fault.site with
+  | Fault.Out g ->
+      let excite = (stuck_word lxor good.(g)) land mask in
+      if excite = 0 then 0 else excite land sens t good mask g
+  | Fault.Pin { gate; pin } ->
+      (* Bump [cur] so [eval_faulty] sees pristine good values (stamps from
+         earlier observability propagations go stale). *)
+      t.cur <- t.cur + 1;
+      let v = eval_faulty t good gate ~force_pin:pin ~force_word:stuck_word in
+      let diff = (v lxor good.(gate)) land mask in
+      if diff = 0 then 0 else diff land sens t good mask gate
+
+(* --- Per-block engine dispatch ---------------------------------------- *)
+
+type mode = Mode_event | Mode_cpt
+
+(* [Hybrid] falls back to per-fault event propagation when the live fault
+   set is sparse (fault-dropping tails): tracing then costs fewer
+   propagations than refreshing every stem's observability would. *)
+let begin_block t good mask ~live =
+  t.block <- t.block + 1;
+  match t.engine with
+  | Event -> Mode_event
+  | Cpt -> Mode_cpt
+  | Hybrid ->
+      if 2 * live >= Array.length t.prop_stems then begin
+        (* Eager reverse-topological observability sweep: every stem's
+           downstream stems are finished first, so each flip propagation
+           stops at the first dominating stem instead of walking its whole
+           fanout cone to the primary outputs. *)
+        Array.iter (fun s -> ignore (obs t good mask s)) t.prop_stems;
+        Mode_cpt
+      end
+      else Mode_event
+
+let process_mode t good mask mode fault =
+  match mode with
+  | Mode_event -> process t good mask fault
+  | Mode_cpt -> process_cpt t good mask fault
 
 (* Blocks are packed and good-simulated one at a time so that [stop] — the
    fault-dropping early exit — skips the good-machine work of every block
@@ -196,9 +425,10 @@ let detection_map t patterns =
   let total = Array.length patterns in
   let result = Array.init (fault_count t) (fun _ -> Bitvec.create total) in
   iter_blocks t patterns (fun ~base ~good ~mask ->
+      let mode = begin_block t good mask ~live:(fault_count t) in
       Array.iteri
         (fun fi fault ->
-          let d = process t good mask fault in
+          let d = process_mode t good mask mode fault in
           if d <> 0 then
             for k = 0 to Logic_sim.block_width - 1 do
               if d lsr k land 1 = 1 then Bitvec.set result.(fi) (base + k)
@@ -213,10 +443,11 @@ let detected_set t patterns ~active =
   let remaining = ref (Bitvec.count active) in
   iter_blocks ~stop:(fun () -> !remaining = 0) t patterns
     (fun ~base:_ ~good ~mask ->
+      let mode = begin_block t good mask ~live:!remaining in
       Array.iteri
         (fun fi fault ->
           if Bitvec.get active fi && not (Bitvec.get detected fi) then
-            if process t good mask fault <> 0 then begin
+            if process_mode t good mask mode fault <> 0 then begin
               Bitvec.set detected fi;
               decr remaining
             end)
@@ -234,10 +465,11 @@ let first_detections t ?active patterns =
   in
   iter_blocks ~stop:(fun () -> !remaining = 0) t patterns
     (fun ~base ~good ~mask ->
+      let mode = begin_block t good mask ~live:!remaining in
       Array.iteri
         (fun fi fault ->
           if live fi && result.(fi) = None then begin
-            let d = process t good mask fault in
+            let d = process_mode t good mask mode fault in
             if d <> 0 then begin
               let k = ref 0 in
               while d lsr !k land 1 = 0 do incr k done;

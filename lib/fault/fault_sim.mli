@@ -1,9 +1,23 @@
-(** Parallel-pattern, single-fault-propagation stuck-at fault simulation.
+(** Parallel-pattern stuck-at fault simulation with selectable engines.
 
-    Patterns are simulated 62 per block against the good machine once; each
-    fault is then injected and only its fanout cone is re-evaluated
-    (event-driven, in topological order).  Three entry points cover the
-    library's needs:
+    Patterns are simulated 62 per block against the good machine once;
+    per-fault detection words are then derived by the selected {!engine}:
+
+    - {!Event}: every fault is injected and its fanout cone re-evaluated
+      event-driven, in topological order — the exactness oracle;
+    - {!Cpt}: critical-path tracing — the circuit is decomposed once into
+      fanout-free regions ({!Reseed_netlist.Ffr}); faults inside a region
+      are graded by a backward derivative chain over the good values, and
+      only each region's stem costs an event-driven flip propagation for
+      its observability word;
+    - {!Hybrid} (default): {!Cpt} accelerated by dominator chaining (a
+      stem's flip propagation stops at the first downstream stem whose
+      observability is already known) and falling back to {!Event} on
+      blocks whose live-fault set is sparse, where per-fault cones are
+      cheaper than refreshing every stem.
+
+    All three engines produce bit-identical results.  Three entry points
+    cover the library's needs:
 
     - {!detection_map}: full per-pattern detection bit-matrix — feeds the
       Detection Matrix construction of Section 3.1 of the paper;
@@ -18,34 +32,57 @@ open Reseed_util
 
 type t
 
-(** [create c faults] builds a reusable simulator.  The fault order fixes
-    the fault indexing used by every result. *)
-val create : Circuit.t -> Fault.t array -> t
+type engine =
+  | Event  (** per-fault event-driven propagation *)
+  | Cpt  (** critical-path tracing, full stem flip propagations *)
+  | Hybrid  (** CPT + dominator chaining + sparse-block event fallback *)
+
+(** [engine_name e] is ["event"], ["cpt"] or ["hybrid"]. *)
+val engine_name : engine -> string
+
+(** [engine_of_string s] parses {!engine_name} output (case-insensitive). *)
+val engine_of_string : string -> engine option
+
+(** [create ?engine c faults] builds a reusable simulator ([engine]
+    defaults to [Hybrid]).  The fault order fixes the fault indexing used
+    by every result. *)
+val create : ?engine:engine -> Circuit.t -> Fault.t array -> t
+
+(** [engine t] is the engine [t] was created with. *)
+val engine : t -> engine
 
 (** [copy t] is a simulator over the same circuit and fault list with
-    fresh private scratch and a zeroed {!sims_performed} counter; it can
-    run concurrently with [t] from another domain (the shared arrays are
+    fresh private scratch and zeroed work counters; it can run
+    concurrently with [t] from another domain (the shared arrays are
     never written after {!create}). *)
 val copy : t -> t
 
 (** [shard t n] is the per-worker simulator array for an [n]-participant
     parallel region: slot 0 is [t] itself, slots [1 .. n-1] are copies.
-    Pair with {!merge_sims} after the region so [t]'s counter accounts for
-    the whole region. *)
+    Pair with {!merge_sims} after the region so [t]'s counters account
+    for the whole region. *)
 val shard : t -> int -> t array
 
-(** [merge_sims ~into shards] adds every shard's counter into [into]'s
-    (skipping [into] itself) and zeroes the donors, so repeated merges
-    never double-count. *)
+(** [merge_sims ~into shards] adds every shard's work counters into
+    [into]'s (skipping [into] itself) and zeroes the donors, so repeated
+    merges never double-count. *)
 val merge_sims : into:t -> t array -> unit
 
 val circuit : t -> Circuit.t
 val faults : t -> Fault.t array
 val fault_count : t -> int
 
-(** [sims_performed t] counts fault-injection cone simulations executed so
-    far — the paper's "number of fault simulations" cost metric. *)
+(** [sims_performed t] counts per-fault detectability evaluations — the
+    paper's "number of fault simulations" cost metric.  Engine-independent
+    by construction: a CPT fault grade counts exactly like an event-driven
+    injection, so Table 1 comparisons stay meaningful across engines. *)
 val sims_performed : t -> int
+
+(** [event_propagations t] counts event-driven cone propagations actually
+    launched: fault injections whose site difference was non-zero under
+    [Event], plus stem observability flips under [Cpt]/[Hybrid].  This is
+    the work metric the CPT engines shrink. *)
+val event_propagations : t -> int
 
 (** [detection_map t patterns] is one {!Bitvec.t} per fault, indexed over
     patterns: bit [p] set iff pattern [p] detects the fault.  No

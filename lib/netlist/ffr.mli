@@ -1,0 +1,53 @@
+(** Fanout-free region (FFR) decomposition and fanout-graph dominators.
+
+    A *stem* is any node whose value is observed at more than one place —
+    several fanout edges (including two pins of the same gate), or a
+    primary output — or at none at all (dead logic).  Every other node has
+    exactly one fanout edge, so the set of nodes funnelling into a given
+    stem forms a fanout-free region: all paths from an FFR-internal node
+    to any primary output pass through the region's stem, single-file.
+
+    This is the static backbone of critical-path-tracing fault
+    simulation: inside an FFR, fault effects propagate along a unique
+    path, so per-pattern detectability follows from good-machine values
+    alone; only stems need genuine propagation analysis.
+
+    The module also builds an immediate-dominator tree over the fanout
+    DAG augmented with a virtual sink fed by every primary output.
+    [idom i] is the first node that every path from [i] to an observation
+    point must cross — the point where a stem's fault effects are known
+    to reconverge, which lets a simulator hand off to already-computed
+    downstream observability. *)
+
+type t
+
+(** [compute c] runs the whole analysis in one pass over the circuit
+    (linear in edges, near-linear for the dominator sweep). *)
+val compute : Circuit.t -> t
+
+(** [is_stem t i] — [i] bounds a fanout-free region (fanout edge count
+    differs from one, or [i] drives a primary output). *)
+val is_stem : t -> int -> bool
+
+(** [stem_of t i] is the stem of [i]'s fanout-free region: [i] itself when
+    [is_stem t i], otherwise the stem reached by following the unique
+    fanout edges. *)
+val stem_of : t -> int -> int
+
+(** [stems t] is the ascending array of all stem nodes. *)
+val stems : t -> int array
+
+val stem_count : t -> int
+
+(** [idom t i] is the immediate dominator of [i] on paths to the virtual
+    sink: a node index, {!sink} when the paths share no interior node (or
+    [i] drives a primary output and fans out besides), or [-1] when [i]
+    cannot reach any primary output. *)
+val idom : t -> int -> int
+
+(** [sink t] is the virtual sink's id, [Circuit.node_count c]. *)
+val sink : t -> int
+
+(** [reaches_po t i] — some path from [i] reaches a primary output
+    (equivalently, [idom t i >= 0]). *)
+val reaches_po : t -> int -> bool

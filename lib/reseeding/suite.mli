@@ -22,16 +22,28 @@ type prepared = {
           runs over the class representatives only *)
 }
 
-(** [prepare ?scale_factor ?atpg_config ?collapse name] loads a catalog
-    circuit and runs the ATPG front-end once.  [collapse] (default
-    [false]) simulates one representative per structural fault class
-    ({!Collapse}), shrinking every downstream fault-simulation. *)
+(** [prepare ?scale_factor ?atpg_config ?sim_engine ?collapse name] loads
+    a catalog circuit and runs the ATPG front-end once.  [sim_engine]
+    selects the fault-simulation engine every downstream phase uses
+    (default [Fault_sim.Hybrid]).  [collapse] (default [false]) simulates
+    one representative per structural fault class ({!Collapse}),
+    shrinking every downstream fault-simulation. *)
 val prepare :
-  ?scale_factor:int -> ?atpg_config:Atpg.config -> ?collapse:bool -> string -> prepared
+  ?scale_factor:int ->
+  ?atpg_config:Atpg.config ->
+  ?sim_engine:Fault_sim.engine ->
+  ?collapse:bool ->
+  string ->
+  prepared
 
-(** [prepare_circuit ?atpg_config ?collapse c] — same, for an arbitrary
-    circuit. *)
-val prepare_circuit : ?atpg_config:Atpg.config -> ?collapse:bool -> Circuit.t -> prepared
+(** [prepare_circuit ?atpg_config ?sim_engine ?collapse c] — same, for an
+    arbitrary circuit. *)
+val prepare_circuit :
+  ?atpg_config:Atpg.config ->
+  ?sim_engine:Fault_sim.engine ->
+  ?collapse:bool ->
+  Circuit.t ->
+  prepared
 
 (** [expanded_coverage_pct p detected] is universe-level coverage implied
     by a detection set over [p.sim]'s fault list, expanded through the

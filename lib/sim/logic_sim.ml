@@ -74,6 +74,29 @@ let simulate c block =
 
 let outputs c values = Array.map (fun o -> values.(o)) c.Circuit.outputs
 
+(* Boolean twin of [eval_node]: reads fanin values in place, so the
+   single-pattern reference simulator allocates nothing per gate. *)
+let eval_node_bool (values : bool array) kind (fanins : int array) =
+  let fold op seed =
+    let acc = ref seed in
+    for j = 0 to Array.length fanins - 1 do
+      acc := op !acc values.(fanins.(j))
+    done;
+    !acc
+  in
+  match kind with
+  | Gate.Input -> invalid_arg "Logic_sim.eval_node_bool: Input"
+  | Gate.Buf -> values.(fanins.(0))
+  | Gate.Not -> not values.(fanins.(0))
+  | Gate.And -> fold ( && ) true
+  | Gate.Nand -> not (fold ( && ) true)
+  | Gate.Or -> fold ( || ) false
+  | Gate.Nor -> not (fold ( || ) false)
+  | Gate.Xor -> fold ( <> ) false
+  | Gate.Xnor -> not (fold ( <> ) false)
+  | Gate.Const0 -> false
+  | Gate.Const1 -> true
+
 let simulate_bool c pattern =
   if Array.length pattern <> Circuit.input_count c then
     invalid_arg "Logic_sim.simulate_bool: pattern width mismatch";
@@ -86,8 +109,7 @@ let simulate_bool c pattern =
     | Gate.Input ->
         values.(i) <- pattern.(!pi);
         incr pi
-    | kind ->
-        values.(i) <- Gate.eval kind (Array.map (fun f -> values.(f)) node.Circuit.fanins)
+    | kind -> values.(i) <- eval_node_bool values kind node.Circuit.fanins
   done;
   values
 

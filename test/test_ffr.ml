@@ -1,0 +1,173 @@
+open Reseed_netlist
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- hand-built netlists ------------------------------------------------ *)
+
+(* a -> buf -> buf -> PO.  One FFR rooted at the final buffer. *)
+let test_buffer_chain () =
+  let b = Circuit.Builder.create "chain" in
+  let a = Circuit.Builder.add_input b "a" in
+  let b1 = Circuit.Builder.add_gate b Gate.Buf [ a ] "b1" in
+  let b2 = Circuit.Builder.add_gate b Gate.Buf [ b1 ] "b2" in
+  Circuit.Builder.mark_output b b2;
+  let c = Circuit.Builder.finalize b in
+  let f = Ffr.compute c in
+  let a = Circuit.find c "a"
+  and b1 = Circuit.find c "b1"
+  and b2 = Circuit.find c "b2" in
+  check "a not stem" false (Ffr.is_stem f a);
+  check "b1 not stem" false (Ffr.is_stem f b1);
+  check "b2 is stem (PO)" true (Ffr.is_stem f b2);
+  check_int "stem_of a" b2 (Ffr.stem_of f a);
+  check_int "stem_of b1" b2 (Ffr.stem_of f b1);
+  check_int "stem_of b2" b2 (Ffr.stem_of f b2);
+  check_int "one stem" 1 (Ffr.stem_count f);
+  (* idoms: everything funnels through b2, b2's idom is the sink. *)
+  check_int "idom a" b1 (Ffr.idom f a);
+  check_int "idom b1" b2 (Ffr.idom f b1);
+  check_int "idom b2" (Ffr.sink f) (Ffr.idom f b2)
+
+(* Reconvergent fanout: a feeds g1 = AND(a,b) and g2 = OR(a,b); both feed
+   g3 = XOR(g1,g2), the only PO.  a and b are stems; their effects
+   reconverge exactly at g3. *)
+let test_reconvergent () =
+  let b = Circuit.Builder.create "reconv" in
+  let ia = Circuit.Builder.add_input b "a" in
+  let ib = Circuit.Builder.add_input b "b" in
+  let g1 = Circuit.Builder.add_gate b Gate.And [ ia; ib ] "g1" in
+  let g2 = Circuit.Builder.add_gate b Gate.Or [ ia; ib ] "g2" in
+  let g3 = Circuit.Builder.add_gate b Gate.Xor [ g1; g2 ] "g3" in
+  Circuit.Builder.mark_output b g3;
+  let c = Circuit.Builder.finalize b in
+  let f = Ffr.compute c in
+  let ia = Circuit.find c "a"
+  and ib = Circuit.find c "b"
+  and g1 = Circuit.find c "g1"
+  and g2 = Circuit.find c "g2"
+  and g3 = Circuit.find c "g3" in
+  check "a is stem" true (Ffr.is_stem f ia);
+  check "b is stem" true (Ffr.is_stem f ib);
+  check "g1 not stem" false (Ffr.is_stem f g1);
+  check "g2 not stem" false (Ffr.is_stem f g2);
+  check "g3 is stem" true (Ffr.is_stem f g3);
+  check_int "stem_of g1" g3 (Ffr.stem_of f g1);
+  check_int "stem_of g2" g3 (Ffr.stem_of f g2);
+  check_int "idom a = reconvergence" g3 (Ffr.idom f ia);
+  check_int "idom b = reconvergence" g3 (Ffr.idom f ib);
+  check_int "idom g3" (Ffr.sink f) (Ffr.idom f g3)
+
+(* A node that is both a PO and fans out to further logic: its paths to
+   observation share no interior node, so its idom is the sink. *)
+let test_multi_output_stem () =
+  let b = Circuit.Builder.create "mo" in
+  let ia = Circuit.Builder.add_input b "a" in
+  let ib = Circuit.Builder.add_input b "b" in
+  let g1 = Circuit.Builder.add_gate b Gate.And [ ia; ib ] "g1" in
+  let g2 = Circuit.Builder.add_gate b Gate.Not [ g1 ] "g2" in
+  Circuit.Builder.mark_output b g1;
+  Circuit.Builder.mark_output b g2;
+  let c = Circuit.Builder.finalize b in
+  let f = Ffr.compute c in
+  let g1 = Circuit.find c "g1" and g2 = Circuit.find c "g2" in
+  check "g1 is stem" true (Ffr.is_stem f g1);
+  check_int "idom g1 = sink" (Ffr.sink f) (Ffr.idom f g1);
+  check_int "idom g2 = sink" (Ffr.sink f) (Ffr.idom f g2)
+
+(* A gate driving the same fanin twice: two fanout edges to one gate make
+   the feeder a stem (multi-pin effects would otherwise need multi-path
+   derivatives inside the FFR). *)
+let test_duplicate_edge_stem () =
+  let b = Circuit.Builder.create "dup" in
+  let ia = Circuit.Builder.add_input b "a" in
+  let g1 = Circuit.Builder.add_gate b Gate.And [ ia; ia ] "g1" in
+  Circuit.Builder.mark_output b g1;
+  let c = Circuit.Builder.finalize b in
+  let f = Ffr.compute c in
+  let ia = Circuit.find c "a" in
+  check "duplicate-edge feeder is stem" true (Ffr.is_stem f ia)
+
+(* --- property tests on generated circuits ------------------------------- *)
+
+(* Stem map is a fixpoint: stem_of i is a stem, and following the unique
+   fanout edge of a non-stem lands on a node with the same stem. *)
+let prop_stem_fixpoint () =
+  List.iter
+    (fun seed ->
+      let spec =
+        {
+          (Generator.default_spec "ffr" ~inputs:8 ~outputs:4 ~gates:60) with
+          Generator.seed;
+        }
+      in
+      let c = Generator.generate spec in
+      let f = Ffr.compute c in
+      for i = 0 to Circuit.node_count c - 1 do
+        let s = Ffr.stem_of f i in
+        check "stem_of lands on a stem" true (Ffr.is_stem f s);
+        if not (Ffr.is_stem f i) then begin
+          check_int "one fanout edge" 1 (Array.length c.Circuit.fanouts.(i));
+          check_int "fanout shares stem" s (Ffr.stem_of f c.Circuit.fanouts.(i).(0))
+        end
+      done)
+    [ 11; 12; 13 ]
+
+(* Brute-force dominator oracle: d > i dominates i iff removing d cuts
+   every path from i to the sink.  idom must be the minimum dominator. *)
+let prop_idom_brute_force () =
+  List.iter
+    (fun seed ->
+      let spec =
+        {
+          (Generator.default_spec "dom" ~inputs:6 ~outputs:3 ~gates:40) with
+          Generator.seed;
+        }
+      in
+      let c = Generator.generate spec in
+      let f = Ffr.compute c in
+      let n = Circuit.node_count c in
+      let sink = n in
+      let is_po = Array.make n false in
+      Array.iter (fun o -> is_po.(o) <- true) c.Circuit.outputs;
+      (* reaches the sink from [i] while never visiting [avoid]? *)
+      let reaches_avoiding i avoid =
+        let seen = Array.make (n + 1) false in
+        let rec go j =
+          if j = avoid || seen.(j) then false
+          else if j = sink then true
+          else begin
+            seen.(j) <- true;
+            (is_po.(j) && avoid <> sink && go sink)
+            || Array.exists go c.Circuit.fanouts.(j)
+          end
+        in
+        go i
+      in
+      for i = 0 to n - 1 do
+        if not (reaches_avoiding i (-2)) then
+          check_int (Printf.sprintf "dead node %d" i) (-1) (Ffr.idom f i)
+        else begin
+          check "reaches_po agrees" true (Ffr.reaches_po f i);
+          let doms = ref [] in
+          for d = n downto i + 1 do
+            if not (reaches_avoiding i d) then doms := d :: !doms
+          done;
+          let expected = match !doms with [] -> sink | d :: _ -> d in
+          check_int (Printf.sprintf "idom %d" i) expected (Ffr.idom f i)
+        end
+      done)
+    [ 21; 22 ]
+
+let suite =
+  [
+    ( "ffr",
+      [
+        Alcotest.test_case "buffer chain" `Quick test_buffer_chain;
+        Alcotest.test_case "reconvergent fanout" `Quick test_reconvergent;
+        Alcotest.test_case "multi-output stem" `Quick test_multi_output_stem;
+        Alcotest.test_case "duplicate-edge stem" `Quick test_duplicate_edge_stem;
+        Alcotest.test_case "stem fixpoint (random)" `Quick prop_stem_fixpoint;
+        Alcotest.test_case "idom vs brute force (random)" `Quick prop_idom_brute_force;
+      ] );
+  ]
