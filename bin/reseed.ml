@@ -7,10 +7,15 @@
      solve     compute a minimal reseeding solution (the paper's flow)
      gatsby    run the GATSBY-style genetic baseline
      tradeoff  sweep evolution length T (Figure 2 style)
+     fullscan  extract the combinational core of a sequential circuit
      gen       emit a synthetic ISCAS-like circuit as a .bench file
 
    Circuits are named by catalog entry ("c432", "s1238", …) or by a path
-   to an ISCAS .bench file. *)
+   to an ISCAS .bench file.
+
+   Exit codes (see Reseed_util.Error): 0 success (including
+   deadline-degraded runs), 2 usage, 3 input, 4 infeasible, 5 worker
+   task failure, 70 internal, 130 interrupted. *)
 
 open Cmdliner
 open Reseed_core
@@ -23,13 +28,47 @@ let load_circuit name ~scale =
   if Filename.check_suffix name ".bench" then Bench_io.parse_file name
   else Library.load ~scale_factor:scale name
 
-let tpg_of_name name width =
-  match name with
-  | "adder" -> Accumulator.adder width
-  | "subtracter" -> Accumulator.subtracter width
-  | "multiplier" -> Accumulator.multiplier width
-  | "mp-lfsr" -> Lfsr.multi_polynomial width
-  | other -> failwith (Printf.sprintf "unknown TPG %S (adder|subtracter|multiplier|mp-lfsr)" other)
+(* Uniform error containment: structured errors print as
+   [file:line:col: message] and map to their documented exit code;
+   anything else is a bug and exits 70. *)
+let guard f =
+  try f () with
+  | Error.Reseed_error e ->
+      Printf.eprintf "reseed: %s\n%!" (Error.to_string e);
+      exit (Error.exit_code e.Error.code)
+  | Pool.Task_error _ as e ->
+      Printf.eprintf "reseed: %s\n%!" (Printexc.to_string e);
+      exit (Error.exit_code Error.Task_failed)
+  | (Stack_overflow | Out_of_memory | Assert_failure _ | Match_failure _ | Failure _) as e
+    ->
+      Printf.eprintf "reseed: internal error: %s\n%!" (Printexc.to_string e);
+      exit (Error.exit_code Error.Internal)
+
+(* A budget is created for every long-running command: the deadline (if
+   any) and SIGINT share the same token, so both wind the flow down
+   through the same graceful paths.  A second SIGINT exits immediately. *)
+let budget_with_sigint deadline =
+  let budget = Budget.create ?deadline_s:deadline () in
+  let again = ref false in
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle
+       (fun _ ->
+         if !again then exit (Error.exit_code Error.Interrupted);
+         again := true;
+         Budget.cancel budget));
+  budget
+
+(* Exit 130 when the run ended because of ^C; callers flush their
+   checkpointed/partial state before reaching this. *)
+let exit_if_interrupted budget =
+  match Budget.stop_reason budget with
+  | Some Budget.Cancelled -> exit (Error.exit_code Error.Interrupted)
+  | Some Budget.Deadline | None -> ()
+
+let with_jobs jobs f =
+  match jobs with
+  | None -> f None
+  | Some j -> Pool.with_pool ~jobs:j (fun p -> f (Some p))
 
 (* Common arguments *)
 
@@ -39,14 +78,39 @@ let circuit_arg =
 let scale_arg =
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Divide synthetic circuit size by $(docv).")
 
+let tpg_kind_conv =
+  Arg.enum
+    [
+      ("adder", `Adder);
+      ("subtracter", `Subtracter);
+      ("multiplier", `Multiplier);
+      ("mp-lfsr", `Mp_lfsr);
+    ]
+
 let tpg_arg =
-  Arg.(value & opt string "adder" & info [ "tpg" ] ~docv:"TPG" ~doc:"adder, subtracter, multiplier or mp-lfsr.")
+  Arg.(value & opt tpg_kind_conv `Adder & info [ "tpg" ] ~docv:"TPG" ~doc:"TPG model: $(b,adder), $(b,subtracter), $(b,multiplier) or $(b,mp-lfsr).")
+
+let tpg_of_kind kind width =
+  match kind with
+  | `Adder -> Accumulator.adder width
+  | `Subtracter -> Accumulator.subtracter width
+  | `Multiplier -> Accumulator.multiplier width
+  | `Mp_lfsr -> Lfsr.multi_polynomial width
 
 let cycles_arg =
   Arg.(value & opt int 150 & info [ "cycles"; "T" ] ~docv:"T" ~doc:"Evolution length per triplet.")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC" ~doc:"Wall-clock budget in seconds.  On expiry the flow degrades gracefully: every phase returns its best partial result and the run still exits 0.")
+
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains for the parallel phases (default: available cores).")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc:"Stream completed detection-matrix rows to $(docv) (crash-safe chunks) and resume from whatever valid rows it already holds.")
 
 (* info *)
 
@@ -81,60 +145,66 @@ let info_cmd =
 (* atpg *)
 
 let atpg_cmd =
-  let engine_arg =
-    Arg.(value & opt string "podem" & info [ "engine" ] ~docv:"E" ~doc:"podem or sat.")
+  let engine_conv =
+    Arg.enum [ ("podem", Reseed_atpg.Atpg.Podem_engine); ("sat", Reseed_atpg.Atpg.Sat_engine) ]
   in
-  let run name scale engine_name =
+  let engine_arg =
+    Arg.(value & opt engine_conv Reseed_atpg.Atpg.Podem_engine & info [ "engine" ] ~docv:"E" ~doc:"Deterministic engine: $(b,podem) or $(b,sat).")
+  in
+  let run name scale engine deadline =
+    guard @@ fun () ->
+    let budget = budget_with_sigint deadline in
     let c = load_circuit name ~scale in
     Printf.printf "%s\n" (Circuit.stats_line c);
-    let engine =
-      match engine_name with
-      | "podem" -> Reseed_atpg.Atpg.Podem_engine
-      | "sat" -> Reseed_atpg.Atpg.Sat_engine
-      | other -> failwith (Printf.sprintf "unknown engine %S (podem|sat)" other)
-    in
     let config = { Reseed_atpg.Atpg.default_config with Reseed_atpg.Atpg.engine } in
-    let sim, r = Reseed_atpg.Atpg.run_circuit ~config c in
+    let sim, r = Reseed_atpg.Atpg.run_circuit ~config ~budget c in
     Printf.printf "faults (collapsed): %d\n" (Reseed_fault.Fault_sim.fault_count sim);
     Printf.printf "test set: %d patterns\n" (Array.length r.Reseed_atpg.Atpg.tests);
     Printf.printf "coverage of detectable faults: %.2f%%\n"
       (Reseed_atpg.Atpg.fault_coverage sim r);
     Printf.printf "untestable: %d, aborted: %d\n"
       (List.length r.Reseed_atpg.Atpg.untestable)
-      (List.length r.Reseed_atpg.Atpg.aborted)
+      (List.length r.Reseed_atpg.Atpg.aborted);
+    if r.Reseed_atpg.Atpg.stopped_early then
+      Printf.printf "degraded: true (%s; partial test set)\n"
+        (match Budget.stop_reason budget with
+        | Some s -> Budget.stop_reason_name s
+        | None -> "budget");
+    exit_if_interrupted budget
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Run the deterministic ATPG on a circuit.")
-    Term.(const run $ circuit_arg $ scale_arg $ engine_arg)
+    Term.(const run $ circuit_arg $ scale_arg $ engine_arg $ deadline_arg)
 
 (* solve *)
 
 let solve_cmd =
+  let method_conv =
+    Arg.enum
+      [
+        ("exact", Reseed_setcover.Solution.Exact);
+        ("greedy", Reseed_setcover.Solution.Greedy_only);
+        ("noreduce", Reseed_setcover.Solution.No_reduction_exact);
+      ]
+  in
   let method_arg =
-    Arg.(value & opt string "exact" & info [ "method" ] ~docv:"M" ~doc:"exact, greedy or noreduce.")
+    Arg.(value & opt method_conv Reseed_setcover.Solution.Exact & info [ "method" ] ~docv:"M" ~doc:"Covering method: $(b,exact), $(b,greedy) or $(b,noreduce).")
   in
   let verify_arg =
     Arg.(value & flag & info [ "verify" ] ~doc:"Re-simulate the final solution from scratch.")
   in
-  let objective_arg =
-    Arg.(value & opt string "triplets" & info [ "objective" ] ~docv:"O" ~doc:"triplets (paper) or length (weighted extension).")
+  let objective_conv =
+    Arg.enum [ ("triplets", Flow.Min_triplets); ("length", Flow.Min_test_length) ]
   in
-  let run name scale tpg_name cycles method_name verify objective_name =
+  let objective_arg =
+    Arg.(value & opt objective_conv Flow.Min_triplets & info [ "objective" ] ~docv:"O" ~doc:"$(b,triplets) (paper) or $(b,length) (weighted extension).")
+  in
+  let run name scale tpg_kind cycles method_ verify objective deadline jobs checkpoint =
+    guard @@ fun () ->
+    let budget = budget_with_sigint deadline in
+    with_jobs jobs @@ fun pool ->
     let c = load_circuit name ~scale in
-    let p = Suite.prepare_circuit c in
-    let tpg = tpg_of_name tpg_name (Circuit.input_count c) in
-    let method_ =
-      match method_name with
-      | "exact" -> Reseed_setcover.Solution.Exact
-      | "greedy" -> Reseed_setcover.Solution.Greedy_only
-      | "noreduce" -> Reseed_setcover.Solution.No_reduction_exact
-      | other -> failwith (Printf.sprintf "unknown method %S" other)
-    in
-    let objective =
-      match objective_name with
-      | "triplets" -> Flow.Min_triplets
-      | "length" -> Flow.Min_test_length
-      | other -> failwith (Printf.sprintf "unknown objective %S (triplets|length)" other)
-    in
+    let p = Suite.prepare_circuit ~budget c in
+    let tpg = tpg_of_kind tpg_kind (Circuit.input_count c) in
     let config =
       {
         Flow.default_config with
@@ -143,9 +213,12 @@ let solve_cmd =
         objective;
       }
     in
-    let r = Flow.run ~config p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets in
+    let r =
+      Flow.run ~config ?pool ~budget ?checkpoint p.Suite.sim tpg ~tests:p.Suite.tests
+        ~targets:p.Suite.targets
+    in
     let stats = r.Flow.solution.Reseed_setcover.Solution.stats in
-    Printf.printf "%s + %s TPG (T=%d)\n" (Circuit.name c) tpg_name cycles;
+    Printf.printf "%s + %s TPG (T=%d)\n" (Circuit.name c) tpg.Tpg.name cycles;
     Printf.printf "initial matrix: %dx%d\n" stats.Reseed_setcover.Solution.initial_rows
       stats.Reseed_setcover.Solution.initial_cols;
     Printf.printf "necessary triplets: %d\n"
@@ -154,29 +227,45 @@ let solve_cmd =
       stats.Reseed_setcover.Solution.reduced_cols;
     Printf.printf "from exact solver: %d\n"
       (List.length stats.Reseed_setcover.Solution.from_solver);
+    if checkpoint <> None then
+      Printf.printf "checkpoint: %d rows restored, %d rows skipped\n"
+        r.Flow.initial.Builder.rows_restored r.Flow.initial.Builder.rows_skipped;
     Printf.printf "solution: %d triplets, test length %d, coverage %.2f%%\n"
       (Flow.reseedings r) r.Flow.test_length r.Flow.coverage_pct;
+    if r.Flow.dropped_triplets > 0 then
+      Printf.printf "warning: %d selected triplets added no coverage and were dropped\n"
+        r.Flow.dropped_triplets;
+    let degraded = r.Flow.degraded || p.Suite.atpg.Reseed_atpg.Atpg.stopped_early in
+    if degraded then
+      Printf.printf "degraded: true (%s)\n"
+        (match r.Flow.stop_reason with
+        | Some s -> Budget.stop_reason_name s
+        | None -> "solver budget");
     List.iteri (fun i t -> Format.printf "  %2d: %a@." i Triplet.pp t) r.Flow.final_triplets;
-    if verify then begin
+    if verify && not degraded then begin
       let ok = Flow.verify p.Suite.sim tpg r in
       Printf.printf "verification: %s\n" (if ok then "PASSED" else "FAILED");
       if not ok then exit 1
-    end
+    end;
+    exit_if_interrupted budget
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute a minimal reseeding solution (set covering flow).")
     Term.(
       const run $ circuit_arg $ scale_arg $ tpg_arg $ cycles_arg $ method_arg $ verify_arg
-      $ objective_arg)
+      $ objective_arg $ deadline_arg $ jobs_arg $ checkpoint_arg)
 
 (* gatsby *)
 
 let gatsby_cmd =
   let pop_arg = Arg.(value & opt int 12 & info [ "population" ] ~docv:"P") in
   let gens_arg = Arg.(value & opt int 6 & info [ "generations" ] ~docv:"G") in
-  let run name scale tpg_name cycles seed pop gens =
+  let run name scale tpg_kind cycles seed pop gens deadline jobs =
+    guard @@ fun () ->
+    let budget = budget_with_sigint deadline in
+    with_jobs jobs @@ fun pool ->
     let c = load_circuit name ~scale in
-    let p = Suite.prepare_circuit c in
-    let tpg = tpg_of_name tpg_name (Circuit.input_count c) in
+    let p = Suite.prepare_circuit ~budget c in
+    let tpg = tpg_of_kind tpg_kind (Circuit.input_count c) in
     let config =
       {
         Gatsby.default_config with
@@ -185,34 +274,47 @@ let gatsby_cmd =
       }
     in
     let rng = Rng.create seed in
-    let g = Gatsby.run ~config p.Suite.sim tpg ~rng ~targets:p.Suite.targets in
-    Printf.printf "%s + %s TPG (T=%d, GA %dx%d)\n" (Circuit.name c) tpg_name cycles pop gens;
+    let g = Gatsby.run ~config ?pool ~budget p.Suite.sim tpg ~rng ~targets:p.Suite.targets in
+    Printf.printf "%s + %s TPG (T=%d, GA %dx%d)\n" (Circuit.name c) tpg.Tpg.name cycles pop gens;
     Printf.printf "triplets: %d, test length: %d\n"
       (List.length g.Gatsby.triplets) g.Gatsby.test_length;
     Printf.printf "coverage: %.2f%% of targets\n"
       (Stats.pct (Bitvec.count g.Gatsby.detected) (max 1 (Bitvec.count p.Suite.targets)));
     Printf.printf "fault simulations: %d, GA evaluations: %d\n" g.Gatsby.fault_sims
-      g.Gatsby.ga_evaluations
+      g.Gatsby.ga_evaluations;
+    if g.Gatsby.stopped_early || p.Suite.atpg.Reseed_atpg.Atpg.stopped_early then
+      Printf.printf "degraded: true (%s)\n"
+        (match Budget.stop_reason budget with
+        | Some s -> Budget.stop_reason_name s
+        | None -> "budget");
+    exit_if_interrupted budget
   in
   Cmd.v (Cmd.info "gatsby" ~doc:"Run the GATSBY-style genetic baseline.")
-    Term.(const run $ circuit_arg $ scale_arg $ tpg_arg $ cycles_arg $ seed_arg $ pop_arg $ gens_arg)
+    Term.(
+      const run $ circuit_arg $ scale_arg $ tpg_arg $ cycles_arg $ seed_arg $ pop_arg
+      $ gens_arg $ deadline_arg $ jobs_arg)
 
 (* tradeoff *)
 
 let tradeoff_cmd =
   let grid_arg =
-    Arg.(value & opt string "16,64,256,1024" & info [ "grid" ] ~docv:"T1,T2,.." ~doc:"Evolution lengths to sweep.")
+    Arg.(value & opt (list int) [ 16; 64; 256; 1024 ] & info [ "grid" ] ~docv:"T1,T2,.." ~doc:"Evolution lengths to sweep (comma-separated integers).")
   in
-  let run name scale tpg_name grid =
+  let run name scale tpg_kind grid jobs =
+    guard @@ fun () ->
+    if grid = [] then Error.fail Error.Usage "--grid needs at least one evolution length";
+    List.iter
+      (fun t -> if t < 1 then Error.fail Error.Usage "--grid: evolution length %d < 1" t)
+      grid;
+    with_jobs jobs @@ fun _pool ->
     let c = load_circuit name ~scale in
     let p = Suite.prepare_circuit c in
-    let tpg = tpg_of_name tpg_name (Circuit.input_count c) in
-    let grid = List.map int_of_string (String.split_on_char ',' grid) in
+    let tpg = tpg_of_kind tpg_kind (Circuit.input_count c) in
     let points = Suite.figure2 ~grid p tpg in
     print_string (Tradeoff.render points)
   in
   Cmd.v (Cmd.info "tradeoff" ~doc:"Sweep evolution length T: reseedings vs test length.")
-    Term.(const run $ circuit_arg $ scale_arg $ tpg_arg $ grid_arg)
+    Term.(const run $ circuit_arg $ scale_arg $ tpg_arg $ grid_arg $ jobs_arg)
 
 (* fullscan *)
 
@@ -224,13 +326,8 @@ let fullscan_cmd =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output combinational-core .bench path.")
   in
   let run input out =
-    let ic = open_in_bin input in
-    let text =
-      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
-          really_input_string ic (in_channel_length ic))
-    in
-    let base = Filename.remove_extension (Filename.basename input) in
-    let core, dffs = Bench_io.parse_full_scan ~name:(base ^ "_core") text in
+    guard @@ fun () ->
+    let core, dffs = Bench_io.parse_file_full_scan input in
     Bench_io.write_file out core;
     Printf.printf "converted %d flip-flops; wrote %s (%s)\n" dffs out
       (Circuit.stats_line core)
@@ -247,6 +344,7 @@ let gen_cmd =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .bench path.")
   in
   let run name scale out =
+    guard @@ fun () ->
     let c = load_circuit name ~scale in
     Bench_io.write_file out c;
     Printf.printf "wrote %s (%s)\n" out (Circuit.stats_line c)
@@ -257,7 +355,11 @@ let gen_cmd =
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info_ = Cmd.info "reseed" ~version:"1.0.0" ~doc:"Set-covering reseeding for Functional BIST (DATE 2001 reproduction)." in
-  exit
-    (Cmd.eval
-       (Cmd.group ~default info_
-          [ info_cmd; atpg_cmd; solve_cmd; gatsby_cmd; tradeoff_cmd; fullscan_cmd; gen_cmd ]))
+  let code =
+    Cmd.eval
+      (Cmd.group ~default info_
+         [ info_cmd; atpg_cmd; solve_cmd; gatsby_cmd; tradeoff_cmd; fullscan_cmd; gen_cmd ])
+  in
+  (* Cmdliner reports CLI parse errors as 124; the documented usage code
+     is 2 (see Reseed_util.Error). *)
+  exit (if code = 124 then Error.exit_code Error.Usage else code)

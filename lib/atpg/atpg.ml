@@ -30,13 +30,14 @@ type result = {
   random_patterns_tried : int;
   podem_stats : Podem.stats;
   dropped_by_compaction : int;
+  stopped_early : bool;
 }
 
 let fault_coverage sim r =
   let detectable = Fault_sim.fault_count sim - List.length r.untestable in
   Stats.pct (Bitvec.count r.detected) (max 1 detectable)
 
-let run ?(config = default_config) sim =
+let run ?(config = default_config) ?budget sim =
   let c = Fault_sim.circuit sim in
   let faults = Fault_sim.faults sim in
   let nf = Array.length faults in
@@ -52,7 +53,7 @@ let run ?(config = default_config) sim =
   let random_tried = ref 0 in
   if config.use_random_phase then begin
     let r =
-      Random_gen.run sim ~rng ~max_patterns:config.max_random_patterns ()
+      Random_gen.run ?budget sim ~rng ~max_patterns:config.max_random_patterns ()
     in
     push_tests r.Random_gen.tests;
     Bitvec.union_into ~into:detected r.Random_gen.detected;
@@ -66,31 +67,38 @@ let run ?(config = default_config) sim =
     match config.engine with
     | Podem_engine ->
         Podem.generate c fault ~rng ~max_backtracks:config.max_backtracks
-          ~testability ~stats:podem_stats ()
+          ?budget ~testability ~stats:podem_stats ()
     | Sat_engine -> (
         match Satpg.generate c fault () with
         | Satpg.Test t -> Podem.Test t
         | Satpg.Untestable -> Podem.Untestable
         | Satpg.Aborted -> Podem.Aborted)
   in
+  (* An expired budget stops issuing deterministic generation: surviving
+     faults are classified [aborted] (a budget casualty, like a PODEM
+     backtrack limit), so the partial test set stays a sound result. *)
   for fi = 0 to nf - 1 do
     if not (Bitvec.get detected fi) then begin
-      match deterministic_generate faults.(fi) with
-      | Podem.Test pattern ->
-          let active = Bitvec.create nf in
-          Bitvec.fill_all active;
-          Bitvec.diff_into ~into:active detected;
-          let newly = Fault_sim.detected_set sim [| pattern |] ~active in
-          Bitvec.union_into ~into:detected newly;
-          push_tests [| pattern |]
-      | Podem.Untestable -> untestable := fi :: !untestable
-      | Podem.Aborted -> aborted := fi :: !aborted
+      if Budget.check budget then aborted := fi :: !aborted
+      else
+        match deterministic_generate faults.(fi) with
+        | Podem.Test pattern ->
+            let active = Bitvec.create nf in
+            Bitvec.fill_all active;
+            Bitvec.diff_into ~into:active detected;
+            let newly = Fault_sim.detected_set sim [| pattern |] ~active in
+            Bitvec.union_into ~into:detected newly;
+            push_tests [| pattern |]
+        | Podem.Untestable -> untestable := fi :: !untestable
+        | Podem.Aborted -> aborted := fi :: !aborted
     end
   done;
   let tests_arr = Array.of_list (List.rev !tests) in
-  (* Phase 3: compaction. *)
+  (* Phase 3: compaction — skipped on expiry (it only shrinks the set). *)
   let tests_arr, dropped =
-    if config.compaction then Compact.reverse_order sim tests_arr else (tests_arr, 0)
+    if config.compaction && not (Budget.check budget) then
+      Compact.reverse_order sim tests_arr
+    else (tests_arr, 0)
   in
   {
     tests = tests_arr;
@@ -100,9 +108,10 @@ let run ?(config = default_config) sim =
     random_patterns_tried = !random_tried;
     podem_stats;
     dropped_by_compaction = dropped;
+    stopped_early = Budget.check budget;
   }
 
-let run_circuit ?config ?sim_engine ?faults c =
+let run_circuit ?config ?sim_engine ?faults ?budget c =
   let faults = match faults with Some f -> f | None -> Fault.all c in
   let sim = Fault_sim.create ?engine:sim_engine c faults in
-  (sim, run ?config sim)
+  (sim, run ?config ?budget sim)

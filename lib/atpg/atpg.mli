@@ -33,19 +33,29 @@ type result = {
   random_patterns_tried : int;
   podem_stats : Podem.stats;
   dropped_by_compaction : int;
+  stopped_early : bool;
+      (** the [budget] expired mid-flow: surviving faults were classified
+          [aborted] and compaction was skipped; [tests] is still sound *)
 }
 
 (** [fault_coverage sim r] is FC% over the detectable faults
     (testable-fault coverage, the figure the paper reports). *)
 val fault_coverage : Fault_sim.t -> result -> float
 
-(** [run ?config sim] generates tests for every fault of [sim]'s list. *)
-val run : ?config:config -> Fault_sim.t -> result
+(** [run ?config ?budget sim] generates tests for every fault of [sim]'s
+    list; an expired [budget] aborts the remaining faults (see
+    [stopped_early]). *)
+val run : ?config:config -> ?budget:Budget.t -> Fault_sim.t -> result
 
-(** [run_circuit ?config ?sim_engine ?faults c] builds the fault list
+(** [run_circuit ?config ?sim_engine ?faults ?budget c] builds the fault list
     ([faults] defaults to the equivalence-collapsed [Fault.all c]; pass
     [Collapse.reps] for class-collapsed simulation) and the simulator
     ([sim_engine] selects the {!Fault_sim.engine}, default [Hybrid]),
     then runs the flow; returns the simulator too. *)
 val run_circuit :
-  ?config:config -> ?sim_engine:Fault_sim.engine -> ?faults:Fault.t array -> Circuit.t -> Fault_sim.t * result
+  ?config:config ->
+  ?sim_engine:Fault_sim.engine ->
+  ?faults:Fault.t array ->
+  ?budget:Budget.t ->
+  Circuit.t ->
+  Fault_sim.t * result

@@ -14,7 +14,7 @@ type status = Detected | Possible | Blocked
    complementary value has been tried already. *)
 type decision = { pi : int; mutable value : bool; mutable alt_tried : bool }
 
-let generate c fault ~rng ?(max_backtracks = 2000) ?testability ?stats () =
+let generate c fault ~rng ?(max_backtracks = 2000) ?budget ?testability ?stats () =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let tb = match testability with Some t -> t | None -> Testability.compute c in
   let n_pi = Circuit.input_count c in
@@ -201,8 +201,11 @@ let generate c fault ~rng ?(max_backtracks = 2000) ?testability ?stats () =
   in
 
   let result = ref None in
+  (* The decision loop is PODEM's hot loop: an expired budget aborts the
+     fault like a blown backtrack limit — the caller records it as such. *)
   while !result = None do
-    if stats.backtracks > max_backtracks then result := Some Aborted
+    if stats.backtracks > max_backtracks || Reseed_util.Budget.check budget then
+      result := Some Aborted
     else begin
       let good = Ternary.simulate c pi_vals () in
       let faulty = Ternary.simulate c pi_vals ~fault () in

@@ -20,16 +20,18 @@ type stats = { mutable backtracks : int; mutable decisions : int }
 
 val new_stats : unit -> stats
 
-(** [generate c fault ~rng ?max_backtracks ?testability ?stats ()]
+(** [generate c fault ~rng ?max_backtracks ?budget ?testability ?stats ()]
     attempts to derive a test for [fault].  [max_backtracks] defaults to
-    2000.  Pass a precomputed [testability] when generating for many
-    faults of the same circuit (it guides branch ordering; recomputed
-    per call otherwise). *)
+    2000; an expired [budget] aborts the fault at the next decision, like
+    a blown backtrack limit.  Pass a precomputed [testability] when
+    generating for many faults of the same circuit (it guides branch
+    ordering; recomputed per call otherwise). *)
 val generate :
   Circuit.t ->
   Fault.t ->
   rng:Rng.t ->
   ?max_backtracks:int ->
+  ?budget:Budget.t ->
   ?testability:Testability.t ->
   ?stats:stats ->
   unit ->

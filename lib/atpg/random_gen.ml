@@ -8,7 +8,7 @@ type result = {
   patterns_tried : int;
 }
 
-let run sim ~rng ?already ?(max_patterns = 10_000) ?(give_up_after = 5) () =
+let run ?budget sim ~rng ?already ?(max_patterns = 10_000) ?(give_up_after = 5) () =
   let c = Fault_sim.circuit sim in
   let n_pi = Circuit.input_count c in
   let nf = Fault_sim.fault_count sim in
@@ -24,7 +24,8 @@ let run sim ~rng ?already ?(max_patterns = 10_000) ?(give_up_after = 5) () =
   let kept = ref [] in
   let tried = ref 0 in
   let useless_blocks = ref 0 in
-  while !tried < max_patterns && !useless_blocks < give_up_after do
+  while !tried < max_patterns && !useless_blocks < give_up_after
+        && not (Budget.check budget) do
     let block =
       Array.init block_size (fun _ -> Array.init n_pi (fun _ -> Rng.bool rng))
     in

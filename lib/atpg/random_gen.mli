@@ -14,11 +14,13 @@ type result = {
   patterns_tried : int;
 }
 
-(** [run sim ~rng ?already ?max_patterns ?give_up_after ()] — [already]
-    marks faults to skip (default none); generation stops after
+(** [run ?budget sim ~rng ?already ?max_patterns ?give_up_after ()] —
+    [already] marks faults to skip (default none); generation stops after
     [max_patterns] (default 10_000, the paper's random-testability
-    threshold) or [give_up_after] consecutive useless blocks (default 5). *)
+    threshold), after [give_up_after] consecutive useless blocks (default
+    5), or when [budget] expires (the patterns kept so far are returned). *)
 val run :
+  ?budget:Budget.t ->
   Fault_sim.t ->
   rng:Rng.t ->
   ?already:Bitvec.t ->

@@ -407,9 +407,12 @@ let process_mode t good mask mode fault =
   | Mode_cpt -> process_cpt t good mask fault
 
 (* Blocks are packed and good-simulated one at a time so that [stop] — the
-   fault-dropping early exit — skips the good-machine work of every block
-   past the one where the last active fault was found. *)
-let iter_blocks ?(stop = fun () -> false) t patterns f =
+   fault-dropping early exit or an expired wall-clock budget — skips the
+   good-machine work of every block past the last one needed.  One block
+   (62 patterns) is the cooperative-cancellation granularity of every
+   sweep: a tripped budget is honoured before the next block starts. *)
+let iter_blocks ?budget ?(stop = fun () -> false) t patterns f =
+  let stop () = stop () || Budget.check budget in
   let total = Array.length patterns in
   let base = ref 0 in
   while !base < total && not (stop ()) do
@@ -421,10 +424,10 @@ let iter_blocks ?(stop = fun () -> false) t patterns f =
     base := !base + len
   done
 
-let detection_map t patterns =
+let detection_map ?budget t patterns =
   let total = Array.length patterns in
   let result = Array.init (fault_count t) (fun _ -> Bitvec.create total) in
-  iter_blocks t patterns (fun ~base ~good ~mask ->
+  iter_blocks ?budget t patterns (fun ~base ~good ~mask ->
       let mode = begin_block t good mask ~live:(fault_count t) in
       Array.iteri
         (fun fi fault ->
@@ -436,12 +439,12 @@ let detection_map t patterns =
         t.faults);
   result
 
-let detected_set t patterns ~active =
+let detected_set ?budget t patterns ~active =
   if Bitvec.length active <> fault_count t then
     invalid_arg "Fault_sim.detected_set: active mask size mismatch";
   let detected = Bitvec.create (fault_count t) in
   let remaining = ref (Bitvec.count active) in
-  iter_blocks ~stop:(fun () -> !remaining = 0) t patterns
+  iter_blocks ?budget ~stop:(fun () -> !remaining = 0) t patterns
     (fun ~base:_ ~good ~mask ->
       let mode = begin_block t good mask ~live:!remaining in
       Array.iteri
@@ -454,7 +457,7 @@ let detected_set t patterns ~active =
         t.faults);
   detected
 
-let first_detections t ?active patterns =
+let first_detections ?budget t ?active patterns =
   let result = Array.make (fault_count t) None in
   let live fi = match active with None -> true | Some a -> Bitvec.get a fi in
   let remaining =
@@ -463,7 +466,7 @@ let first_detections t ?active patterns =
       | None -> fault_count t
       | Some a -> Bitvec.count a)
   in
-  iter_blocks ~stop:(fun () -> !remaining = 0) t patterns
+  iter_blocks ?budget ~stop:(fun () -> !remaining = 0) t patterns
     (fun ~base ~good ~mask ->
       let mode = begin_block t good mask ~live:!remaining in
       Array.iteri
@@ -480,7 +483,7 @@ let first_detections t ?active patterns =
         t.faults);
   result
 
-let count_new_detections t patterns ~active =
-  Bitvec.count (detected_set t patterns ~active)
+let count_new_detections ?budget t patterns ~active =
+  Bitvec.count (detected_set ?budget t patterns ~active)
 
 let coverage_pct t detected = Stats.pct (Bitvec.count detected) (fault_count t)

@@ -84,26 +84,35 @@ val sims_performed : t -> int
     the work metric the CPT engines shrink. *)
 val event_propagations : t -> int
 
-(** [detection_map t patterns] is one {!Bitvec.t} per fault, indexed over
-    patterns: bit [p] set iff pattern [p] detects the fault.  No
-    dropping. *)
-val detection_map : t -> bool array array -> Bitvec.t array
+(** Every sweep below takes an optional [budget]: a tripped deadline or
+    cancellation stops the sweep cleanly at the next 62-pattern block
+    boundary, returning the (sound but possibly incomplete) detections
+    gathered so far.  Callers that need completeness must re-check the
+    budget after the call. *)
 
-(** [detected_set t patterns ~active] is the set of faults from [active]
-    detected by at least one pattern (with dropping inside the run).
-    Stops simulating blocks as soon as every active fault is detected. *)
-val detected_set : t -> bool array array -> active:Bitvec.t -> Bitvec.t
+(** [detection_map ?budget t patterns] is one {!Bitvec.t} per fault,
+    indexed over patterns: bit [p] set iff pattern [p] detects the fault.
+    No dropping. *)
+val detection_map : ?budget:Budget.t -> t -> bool array array -> Bitvec.t array
 
-(** [first_detections t ?active patterns] runs with fault dropping; result
-    [i] is [Some p] when fault [i] is first detected by pattern [p].
-    Faults outside [active] (default: all) are skipped entirely.  Stops
-    simulating blocks as soon as every live fault has a first detection. *)
-val first_detections : t -> ?active:Bitvec.t -> bool array array -> int option array
+(** [detected_set ?budget t patterns ~active] is the set of faults from
+    [active] detected by at least one pattern (with dropping inside the
+    run).  Stops simulating blocks as soon as every active fault is
+    detected. *)
+val detected_set : ?budget:Budget.t -> t -> bool array array -> active:Bitvec.t -> Bitvec.t
 
-(** [count_new_detections t patterns ~active] is
+(** [first_detections ?budget t ?active patterns] runs with fault
+    dropping; result [i] is [Some p] when fault [i] is first detected by
+    pattern [p].  Faults outside [active] (default: all) are skipped
+    entirely.  Stops simulating blocks as soon as every live fault has a
+    first detection. *)
+val first_detections :
+  ?budget:Budget.t -> t -> ?active:Bitvec.t -> bool array array -> int option array
+
+(** [count_new_detections ?budget t patterns ~active] is
     [Bitvec.count (detected_set t patterns ~active)] without allocating
     the result set. *)
-val count_new_detections : t -> bool array array -> active:Bitvec.t -> int
+val count_new_detections : ?budget:Budget.t -> t -> bool array array -> active:Bitvec.t -> int
 
 (** [coverage_pct t detected] renders fault coverage as a percentage of
     the simulator's fault list. *)

@@ -26,9 +26,14 @@ let default_config =
     mutation_rate = 0.5;
   }
 
-type 'a outcome = { best : 'a; best_fitness : float; evaluations : int }
+type 'a outcome = {
+  best : 'a;
+  best_fitness : float;
+  evaluations : int;
+  stopped_early : bool;
+}
 
-let optimize ?(config = default_config) ?eval_batch ~rng problem =
+let optimize ?(config = default_config) ?eval_batch ?budget ~rng problem =
   if config.population < 2 then invalid_arg "Ga.optimize: population must be >= 2";
   if config.elite >= config.population then invalid_arg "Ga.optimize: elite too large";
   let evaluations = ref 0 in
@@ -60,7 +65,11 @@ let optimize ?(config = default_config) ?eval_batch ~rng problem =
     done;
     fst scored.(!best_i)
   in
-  for _gen = 1 to config.generations do
+  (* Budget is polled once per generation: the initial cohort above always
+     completes, so [best] is a valid (if unevolved) genome on expiry. *)
+  let gen = ref 0 in
+  while !gen < config.generations && not (Budget.check budget) do
+    incr gen;
     let n_children = config.population - config.elite in
     let children =
       Array.init n_children (fun _ ->
@@ -88,4 +97,9 @@ let optimize ?(config = default_config) ?eval_batch ~rng problem =
       best_fitness := snd scored.(0)
     end
   done;
-  { best = !best; best_fitness = !best_fitness; evaluations = !evaluations }
+  {
+    best = !best;
+    best_fitness = !best_fitness;
+    evaluations = !evaluations;
+    stopped_early = Budget.check budget;
+  }

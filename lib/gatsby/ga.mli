@@ -29,13 +29,22 @@ type 'a outcome = {
   best : 'a;
   best_fitness : float;
   evaluations : int;  (** number of fitness calls performed *)
+  stopped_early : bool;  (** the [budget] expired before [generations] ran *)
 }
 
-(** [optimize ?config ?eval_batch ~rng problem] runs the GA and returns
-    the best genome ever seen.  Fitness is evaluated in whole-cohort
-    batches: [eval_batch] (default [Array.map problem.fitness]) may
-    compute the array in parallel — genome creation, which consumes the
-    RNG, is already finished when it is called, so the outcome is
-    identical whatever the evaluator's execution order. *)
+(** [optimize ?config ?eval_batch ?budget ~rng problem] runs the GA and
+    returns the best genome ever seen.  Fitness is evaluated in
+    whole-cohort batches: [eval_batch] (default
+    [Array.map problem.fitness]) may compute the array in parallel —
+    genome creation, which consumes the RNG, is already finished when it
+    is called, so the outcome is identical whatever the evaluator's
+    execution order.  [budget] is polled between generations; on expiry
+    the best genome so far is returned with [stopped_early] set (the
+    initial cohort always completes). *)
 val optimize :
-  ?config:config -> ?eval_batch:('a array -> float array) -> rng:Rng.t -> 'a problem -> 'a outcome
+  ?config:config ->
+  ?eval_batch:('a array -> float array) ->
+  ?budget:Budget.t ->
+  rng:Rng.t ->
+  'a problem ->
+  'a outcome

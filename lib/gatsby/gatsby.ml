@@ -30,6 +30,7 @@ type result = {
   test_length : int;
   fault_sims : int;
   ga_evaluations : int;
+  stopped_early : bool;
 }
 
 type genome = { g_seed : Word.t; g_operand : Word.t }
@@ -62,7 +63,7 @@ let genome_problem ~width ~fitness =
         else { g with g_operand = flip_bits rng g.g_operand });
   }
 
-let run ?(config = default_config) ?pool sim tpg ~rng ~targets =
+let run ?(config = default_config) ?pool ?budget sim tpg ~rng ~targets =
   let nf = Fault_sim.fault_count sim in
   if Bitvec.length targets <> nf then invalid_arg "Gatsby.run: target mask size";
   let width = tpg.Tpg.width in
@@ -96,13 +97,14 @@ let run ?(config = default_config) ?pool sim tpg ~rng ~targets =
   in
   let coverage () = 100.0 *. float_of_int (Bitvec.count detected) /. float_of_int total_targets in
   let rounds = ref 0 and stalls = ref 0 and go = ref true in
-  while !go && !rounds < config.max_rounds && coverage () < config.target_coverage do
+  while !go && !rounds < config.max_rounds && coverage () < config.target_coverage
+        && not (Budget.check budget) do
     incr rounds;
     let fitness g =
       float_of_int (Fault_sim.count_new_detections sim (burst g) ~active)
     in
     let problem = genome_problem ~width ~fitness in
-    let outcome = Ga.optimize ~config:config.ga ~eval_batch ~rng problem in
+    let outcome = Ga.optimize ~config:config.ga ~eval_batch ?budget ~rng problem in
     ga_evals := !ga_evals + outcome.Ga.evaluations;
     if outcome.Ga.best_fitness < 0.5 then begin
       incr stalls;
@@ -140,4 +142,5 @@ let run ?(config = default_config) ?pool sim tpg ~rng ~targets =
     test_length = !test_length;
     fault_sims = Fault_sim.sims_performed sim - sims_at_start;
     ga_evaluations = !ga_evals;
+    stopped_early = Budget.check budget;
   }

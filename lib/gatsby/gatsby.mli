@@ -30,19 +30,25 @@ type result = {
   test_length : int;  (** Σ effective (truncated) burst lengths *)
   fault_sims : int;  (** total injections — the paper's cost metric *)
   ga_evaluations : int;
+  stopped_early : bool;
+      (** the [budget] expired: [triplets] holds the reseedings committed
+          so far, still sound against [detected] *)
 }
 
-(** [run ?config ?pool sim tpg ~rng ~targets] hunts triplets until
+(** [run ?config ?pool ?budget sim tpg ~rng ~targets] hunts triplets until
     [targets] is covered (or the configuration gives up).  [targets]
     restricts the fault universe, mirroring the paper's "faults not
     covered by the other triplets" accounting.  GA fitness evaluations
     (burst fault simulations) run in parallel over [pool] (default:
     {!Pool.default}) on per-worker simulator shards; the GA's RNG stays
     on the calling domain, so the search is bit-identical at every job
-    count. *)
+    count.  [budget] is polled between GA generations and between rounds:
+    on expiry the triplets committed so far are returned with
+    [stopped_early] set. *)
 val run :
   ?config:config ->
   ?pool:Pool.t ->
+  ?budget:Budget.t ->
   Fault_sim.t ->
   Tpg.t ->
   rng:Rng.t ->

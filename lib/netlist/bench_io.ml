@@ -1,6 +1,6 @@
-exception Parse_error of { line : int; message : string }
+open Reseed_util
 
-let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+let fail ?file ?line fmt = Error.fail ?file ?line Error.Input_error fmt
 
 type statement =
   | Decl_input of string
@@ -20,25 +20,27 @@ let strip s =
   while !e > !b && (s.[!e - 1] = ' ' || s.[!e - 1] = '\t' || s.[!e - 1] = '\r') do decr e done;
   String.sub s !b (!e - !b)
 
-let check_ident lineno s =
-  if s = "" then fail lineno "empty identifier";
-  String.iter (fun c -> if not (is_ident_char c) then fail lineno "bad identifier %S" s) s;
+let check_ident ?file lineno s =
+  if s = "" then fail ?file ~line:lineno "empty identifier";
+  String.iter
+    (fun c -> if not (is_ident_char c) then fail ?file ~line:lineno "bad identifier %S" s)
+    s;
   s
 
 (* Parse "KIND(a, b, c)" returning (kind, args). *)
-let parse_call lineno s =
+let parse_call ?file lineno s =
   match String.index_opt s '(' with
-  | None -> fail lineno "expected gate application in %S" s
+  | None -> fail ?file ~line:lineno "expected gate application in %S" s
   | Some lp ->
-      if s.[String.length s - 1] <> ')' then fail lineno "missing ')' in %S" s;
+      if s.[String.length s - 1] <> ')' then fail ?file ~line:lineno "missing ')' in %S" s;
       let gate = strip (String.sub s 0 lp) in
       let inner = String.sub s (lp + 1) (String.length s - lp - 2) in
       let args =
         String.split_on_char ',' inner |> List.map strip |> List.filter (fun a -> a <> "")
       in
-      (check_ident lineno gate, List.map (check_ident lineno) args)
+      (check_ident ?file lineno gate, List.map (check_ident ?file lineno) args)
 
-let parse_line lineno raw =
+let parse_line ?file lineno raw =
   let line =
     match String.index_opt raw '#' with
     | Some i -> String.sub raw 0 i
@@ -49,51 +51,64 @@ let parse_line lineno raw =
   else
     match String.index_opt line '=' with
     | Some eq ->
-        let net = check_ident lineno (strip (String.sub line 0 eq)) in
+        let net = check_ident ?file lineno (strip (String.sub line 0 eq)) in
         let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
-        let gate, args = parse_call lineno rhs in
+        let gate, args = parse_call ?file lineno rhs in
         Some (Def { net; gate; args })
     | None ->
-        let keyword, args = parse_call lineno line in
+        let keyword, args = parse_call ?file lineno line in
         let arg =
           match args with
           | [ a ] -> a
-          | _ -> fail lineno "%s expects exactly one net" keyword
+          | _ -> fail ?file ~line:lineno "%s expects exactly one net" keyword
         in
         (match String.uppercase_ascii keyword with
         | "INPUT" -> Some (Decl_input arg)
         | "OUTPUT" -> Some (Decl_output arg)
-        | other -> fail lineno "unknown declaration %S" other)
+        | other -> fail ?file ~line:lineno "unknown declaration %S" other)
 
-let statements_of_text text =
+(* Each surviving statement keeps its 1-based source line, so the build
+   phase below can point semantic errors at real coordinates. *)
+let statements_of_text ?file text =
   let lines = String.split_on_char '\n' text in
-  List.concat (List.mapi (fun i l -> Option.to_list (parse_line (i + 1) l)) lines)
+  List.concat
+    (List.mapi
+       (fun i l ->
+         match parse_line ?file (i + 1) l with
+         | Some s -> [ (i + 1, s) ]
+         | None -> [])
+       lines)
 
 (* [scan_dffs = false]: reject DFFs.  [true]: full-scan conversion — a
-   flip-flop [q = DFF(d)] becomes pseudo-PI [q] and pseudo-PO [d]. *)
-let build ~name ~scan_dffs statements =
+   flip-flop [q = DFF(d)] becomes pseudo-PI [q] and pseudo-PO [d].
+   Every statement carries its source line, so semantic errors (double
+   definition, undefined or cyclic nets, bad gate kinds) point at the
+   offending statement rather than at "the file". *)
+let build ~name ~scan_dffs ?file statements =
   let inputs = ref [] and outputs = ref [] and defs = Hashtbl.create 64 in
   let def_order = ref [] in
   let dffs = ref 0 in
   List.iter
-    (function
-      | Decl_input n -> inputs := n :: !inputs
-      | Decl_output n -> outputs := n :: !outputs
+    (fun (line, stmt) ->
+      match stmt with
+      | Decl_input n -> inputs := (line, n) :: !inputs
+      | Decl_output n -> outputs := (line, n) :: !outputs
       | Def { net; gate; args } ->
-          if Hashtbl.mem defs net then fail 0 "net %s defined twice" net;
+          if Hashtbl.mem defs net then fail ?file ~line "net %s defined twice" net;
           if String.uppercase_ascii gate = "DFF" then begin
             if not scan_dffs then
-              fail 0 "net %s: sequential element DFF not supported (use the full-scan core)"
+              fail ?file ~line
+                "net %s: sequential element DFF not supported (use the full-scan core)"
                 net;
             match args with
             | [ d ] ->
                 incr dffs;
-                inputs := net :: !inputs;
-                outputs := d :: !outputs
-            | _ -> fail 0 "net %s: DFF expects exactly one data input" net
+                inputs := (line, net) :: !inputs;
+                outputs := (line, d) :: !outputs
+            | _ -> fail ?file ~line "net %s: DFF expects exactly one data input" net
           end
           else begin
-            Hashtbl.add defs net (gate, args);
+            Hashtbl.add defs net (line, gate, args);
             def_order := net :: !def_order
           end)
     statements;
@@ -101,63 +116,78 @@ let build ~name ~scan_dffs statements =
   let b = Circuit.Builder.create name in
   let handles = Hashtbl.create 64 in
   List.iter
-    (fun n ->
-      if Hashtbl.mem defs n then fail 0 "net %s is both INPUT and defined" n;
+    (fun (line, n) ->
+      if Hashtbl.mem defs n then fail ?file ~line "net %s is both INPUT and defined" n;
       Hashtbl.replace handles n (Circuit.Builder.add_input b n))
     inputs;
   (* Topological insertion by DFS over definitions; [visiting] detects
-     combinational loops. *)
+     combinational loops.  [from] is the line of the statement that
+     referenced [net], the best coordinate for a missing definition. *)
   let visiting = Hashtbl.create 16 in
-  let rec resolve net =
+  let rec resolve ~from net =
     match Hashtbl.find_opt handles net with
     | Some h -> h
     | None ->
-        if Hashtbl.mem visiting net then fail 0 "combinational loop through %s" net;
+        if Hashtbl.mem visiting net then
+          fail ?file ~line:from
+            "combinational loop through net %s (a gate depends on its own output)" net;
         (match Hashtbl.find_opt defs net with
-        | None -> fail 0 "undefined net %s" net
-        | Some (gate, args) ->
+        | None ->
+            fail ?file ~line:from
+              "undefined net %s (referenced but never declared INPUT or defined)" net
+        | Some (line, gate, args) ->
             Hashtbl.add visiting net ();
-            let fanins = List.map resolve args in
+            let fanins = List.map (resolve ~from:line) args in
             Hashtbl.remove visiting net;
             let kind =
               try Gate.kind_of_string gate
-              with Invalid_argument m -> fail 0 "net %s: %s" net m
+              with Invalid_argument m -> fail ?file ~line "net %s: %s" net m
             in
             let h = Circuit.Builder.add_gate b kind fanins net in
             Hashtbl.replace handles net h;
             h)
   in
-  List.iter (fun net -> ignore (resolve net)) (List.rev !def_order);
-  let seen_out = Hashtbl.create 16 in
   List.iter
     (fun net ->
+      let line, _, _ = Hashtbl.find defs net in
+      ignore (resolve ~from:line net))
+    (List.rev !def_order);
+  let seen_out = Hashtbl.create 16 in
+  List.iter
+    (fun (line, net) ->
       if Hashtbl.mem seen_out net then begin
         (* Scan conversion can legitimately surface the same net twice
            (e.g. a state net that already was a primary output). *)
-        if not scan_dffs then fail 0 "net %s listed as OUTPUT twice" net
+        if not scan_dffs then fail ?file ~line "net %s listed as OUTPUT twice" net
       end
       else begin
         Hashtbl.add seen_out net ();
-        Circuit.Builder.mark_output b (resolve net)
+        Circuit.Builder.mark_output b (resolve ~from:line net)
       end)
     outputs;
-  let circuit = try Circuit.Builder.finalize b with Failure m -> fail 0 "%s" m in
+  let circuit = try Circuit.Builder.finalize b with Failure m -> fail ?file "%s" m in
   (circuit, !dffs)
 
-let parse ~name text =
-  fst (build ~name ~scan_dffs:false (statements_of_text text))
+let parse ?file ~name text =
+  fst (build ~name ~scan_dffs:false ?file (statements_of_text ?file text))
 
-let parse_full_scan ~name text =
-  build ~name ~scan_dffs:true (statements_of_text text)
+let parse_full_scan ?file ~name text =
+  build ~name ~scan_dffs:true ?file (statements_of_text ?file text)
 
-let parse_file path =
-  let ic = open_in_bin path in
-  let text =
+let read_text path =
+  try
+    let ic = open_in_bin path in
     Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
         really_input_string ic (in_channel_length ic))
-  in
+  with Sys_error m -> fail "cannot read %s: %s" path m
+
+let parse_file path =
   let base = Filename.remove_extension (Filename.basename path) in
-  parse ~name:base text
+  parse ~file:path ~name:base (read_text path)
+
+let parse_file_full_scan path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse_full_scan ~file:path ~name:(base ^ "_core") (read_text path)
 
 let to_string (c : Circuit.t) =
   let buf = Buffer.create 4096 in

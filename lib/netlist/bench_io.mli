@@ -15,24 +15,32 @@
     combinational cores of full-scan circuits, where every flip-flop has
     already been turned into a PI/PO pair (see {!Generator}). *)
 
-exception Parse_error of { line : int; message : string }
+(** Malformed input — syntax errors, bad identifiers, double definitions,
+    undefined or cyclic nets, sequential elements in combinational mode —
+    raises {!Reseed_util.Error.Reseed_error} with code [Input_error], the
+    1-based source line of the offending statement, and (for the
+    [*_file] entry points) the file name. *)
 
-(** [parse ~name text] builds a circuit from [.bench] source.
-    @raise Parse_error on malformed input, combinational loops, undefined
-    signals, or sequential elements. *)
-val parse : name:string -> string -> Circuit.t
+(** [parse ?file ~name text] builds a circuit from [.bench] source;
+    [file] only decorates error messages. *)
+val parse : ?file:string -> name:string -> string -> Circuit.t
 
-(** [parse_full_scan ~name text] accepts sequential [.bench] sources and
+(** [parse_full_scan ?file ~name text] accepts sequential [.bench] sources and
     performs the full-scan transformation the paper applies to the
     ISCAS'89 circuits: every [q = DFF(d)] becomes a pseudo primary input
     [q] (the scanned-in state) plus a pseudo primary output on [d] (the
     scanned-out next state).  The result is the combinational core.
     Returns the core and the number of converted flip-flops. *)
-val parse_full_scan : name:string -> string -> Circuit.t * int
+val parse_full_scan : ?file:string -> name:string -> string -> Circuit.t * int
 
 (** [parse_file path] reads and parses [path]; the circuit is named after
-    the file's basename without extension. *)
+    the file's basename without extension.  An unreadable file raises the
+    same [Input_error] as a malformed one. *)
 val parse_file : string -> Circuit.t
+
+(** [parse_file_full_scan path] is {!parse_full_scan} over [path]'s
+    contents; the core is named [<basename>_core]. *)
+val parse_file_full_scan : string -> Circuit.t * int
 
 (** [to_string c] renders a circuit back to [.bench] text.  Output nets
     that are also inputs or need aliasing are emitted through [BUF]s, so

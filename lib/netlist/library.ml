@@ -219,7 +219,10 @@ let paper_suite =
 let spec_of name =
   match List.assoc_opt name full_catalog with
   | Some s -> s
-  | None -> raise Not_found
+  | None ->
+      Reseed_util.Error.fail Reseed_util.Error.Input_error
+        "unknown circuit %S (catalog: %s)" name
+        (String.concat ", " (List.map fst full_catalog))
 
 let scale ~factor (spec : Generator.spec) =
   if factor < 1 then invalid_arg "Library.scale: factor must be >= 1";

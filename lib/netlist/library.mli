@@ -36,7 +36,8 @@ val alu : int -> Circuit.t
 val paper_suite : (string * Generator.spec) list
 
 (** [spec_of name] is the catalog spec for an ISCAS benchmark name.
-    Raises [Not_found] for unknown names. *)
+    Raises {!Reseed_util.Error.Reseed_error} ([Input_error]) for unknown
+    names, listing the catalog. *)
 val spec_of : string -> Generator.spec
 
 (** [scale ~factor spec] shrinks a spec's gate/PI/PO counts by [factor]
@@ -46,7 +47,7 @@ val scale : factor:int -> Generator.spec -> Generator.spec
 
 (** [load ?scale_factor name] materialises a benchmark: the embedded real
     netlist for ["c17"], otherwise the synthetic ISCAS-like circuit.
-    Raises [Not_found] for unknown names. *)
+    Unknown names fail like {!spec_of}. *)
 val load : ?scale_factor:int -> string -> Circuit.t
 
 (** Catalog names appearing in the paper's Table 1, in its order. *)

@@ -15,9 +15,15 @@ type t = {
   targets : Bitvec.t;
   useful_cycles : int array;
   fault_sims : int;
+  rows_skipped : int;
+  rows_restored : int;
 }
 
-let build ?pool sim tpg ~tests ~targets ~config =
+let operand_tag = function
+  | Random_operand -> "random"
+  | Shared_operand w -> "shared:" ^ Word.to_hex w
+
+let build ?pool ?budget ?checkpoint sim tpg ~tests ~targets ~config =
   let nf = Fault_sim.fault_count sim in
   if Bitvec.length targets <> nf then invalid_arg "Builder.build: target mask size";
   let width = tpg.Tpg.width in
@@ -46,29 +52,95 @@ let build ?pool sim tpg ~tests ~targets ~config =
   in
   let n = Array.length triplets in
   let useful_cycles = Array.make n 1 in
+  let rows = Array.init n (fun _ -> Bitvec.create nf) in
+  let completed = Array.make n false in
+  (* Resume: rows are pure functions of their index, so any complete row
+     from a fingerprint-matching checkpoint is the row we would compute. *)
+  let ck =
+    Option.map
+      (fun dir ->
+        let fp =
+          Checkpoint.fingerprint ~tests ~targets ~cycles:config.cycles
+            ~seed:config.seed
+            ~operand_tag:(operand_tag config.operand_mode)
+            ~tpg:tpg.Tpg.name ~width
+        in
+        Checkpoint.open_dir ~dir ~fingerprint:fp ~rows:n ~cols:nf)
+      checkpoint
+  in
+  let restored = ref 0 in
+  Option.iter
+    (fun ck ->
+      ignore
+        (Checkpoint.restore ck (fun ~row ~useful bits ->
+             if not completed.(row) then begin
+               completed.(row) <- true;
+               incr restored;
+               rows.(row) <- bits;
+               useful_cycles.(row) <- useful
+             end)))
+    ck;
   (* One task per matrix row; each worker fault-simulates on its own
      simulator shard, and every write lands in the task's own row slot, so
-     the matrix is bit-identical at every job count. *)
+     the matrix is bit-identical at every job count.  With a checkpoint the
+     rows are processed in chunk-sized groups so each finished group can be
+     persisted before the next starts; a budget-abandoned row stays empty
+     and [completed] false, and is never persisted. *)
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let shard = Fault_sim.shard sim (Pool.jobs pool) in
-  let rows = Array.make n (Bitvec.create 0) in
-  Pool.parallel_for ~pool ~chunk:1 ~total:n (fun ~worker ~lo ~hi ->
-      let s = shard.(worker) in
-      for i = lo to hi - 1 do
-        let burst = Triplet.patterns tpg triplets.(i) in
-        let firsts = Fault_sim.first_detections s ~active:targets burst in
-        let row = Bitvec.create nf in
-        Array.iteri
-          (fun fi first ->
-            match first with
-            | Some p when Bitvec.get targets fi ->
-                Bitvec.set row fi;
-                if p + 1 > useful_cycles.(i) then useful_cycles.(i) <- p + 1
-            | _ -> ())
-          firsts;
-        rows.(i) <- row
-      done);
+  let group = match ck with Some _ -> Checkpoint.chunk_rows | None -> max 1 n in
+  let glo = ref 0 in
+  while !glo < n do
+    let lo = !glo and hi = min n (!glo + group) in
+    glo := hi;
+    let missing = ref false in
+    for i = lo to hi - 1 do
+      if not completed.(i) then missing := true
+    done;
+    if !missing && not (Budget.check budget) then begin
+      Pool.parallel_for ~pool ~chunk:1 ~label:"detection-matrix rows"
+        ~total:(hi - lo) (fun ~worker ~lo:tlo ~hi:thi ->
+          let s = shard.(worker) in
+          for j = tlo to thi - 1 do
+            let i = lo + j in
+            if (not completed.(i)) && not (Budget.check budget) then begin
+              let burst = Triplet.patterns tpg triplets.(i) in
+              let firsts = Fault_sim.first_detections ?budget s ~active:targets burst in
+              (* An expired budget may have cut the sweep short: discard
+                 the partial row rather than commit an understated one. *)
+              if not (Budget.check budget) then begin
+                let row = Bitvec.create nf in
+                let useful = ref 1 in
+                Array.iteri
+                  (fun fi first ->
+                    match first with
+                    | Some p when Bitvec.get targets fi ->
+                        Bitvec.set row fi;
+                        if p + 1 > !useful then useful := p + 1
+                    | _ -> ())
+                  firsts;
+                rows.(i) <- row;
+                useful_cycles.(i) <- !useful;
+                completed.(i) <- true
+              end
+            end
+          done);
+      match ck with
+      | Some ck ->
+          let all = ref true in
+          for i = lo to hi - 1 do
+            if not completed.(i) then all := false
+          done;
+          if !all then
+            Checkpoint.store ck ~lo ~hi
+              ~useful:(fun i -> useful_cycles.(i))
+              ~row:(fun i -> rows.(i))
+      | None -> ()
+    end
+  done;
   Fault_sim.merge_sims ~into:sim shard;
+  let skipped = ref 0 in
+  Array.iter (fun d -> if not d then incr skipped) completed;
   let matrix = Matrix.of_rows ~cols:nf rows in
   {
     triplets;
@@ -76,4 +148,6 @@ let build ?pool sim tpg ~tests ~targets ~config =
     targets;
     useful_cycles;
     fault_sims = Fault_sim.sims_performed sim - sims_before;
+    rows_skipped = !skipped;
+    rows_restored = !restored;
   }

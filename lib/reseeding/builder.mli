@@ -36,15 +36,29 @@ type t = {
           upper estimate of the triplet's effective test length, used as
           the row weight by the minimum-test-length objective *)
   fault_sims : int;  (** injections spent building the matrix *)
+  rows_skipped : int;
+      (** rows abandoned empty because the [budget] expired; their
+          triplet detects nothing in the matrix, so the covering step
+          sees an honestly smaller instance *)
+  rows_restored : int;  (** rows loaded from the [checkpoint] directory *)
 }
 
-(** [build ?pool sim tpg ~tests ~targets ~config] — [tests] is ATPGTS;
-    [targets] selects the fault list F among the simulator's faults.
-    Matrix columns outside [targets] are left empty (they are not
-    constraints).  Matrix rows are fault-simulated in parallel over
-    [pool] (default: {!Pool.default}) on per-worker simulator shards; the
-    result — matrix, [useful_cycles] and [fault_sims] — is bit-identical
-    at every job count. *)
+(** [build ?pool ?budget ?checkpoint sim tpg ~tests ~targets ~config] —
+    [tests] is ATPGTS; [targets] selects the fault list F among the
+    simulator's faults.  Matrix columns outside [targets] are left empty
+    (they are not constraints).  Matrix rows are fault-simulated in
+    parallel over [pool] (default: {!Pool.default}) on per-worker
+    simulator shards; the result — matrix, [useful_cycles] and
+    [fault_sims] — is bit-identical at every job count.
+
+    [checkpoint] names a directory: completed rows are streamed to it in
+    {!Checkpoint.chunk_rows}-sized crash-safe chunks, and any valid rows
+    already present (same build fingerprint) are restored instead of
+    re-simulated, bit-identically.  An expired [budget] stops the build
+    at the next row boundary; unfinished rows stay empty and are counted
+    in [rows_skipped], never persisted. *)
 val build :
   ?pool:Pool.t ->
+  ?budget:Budget.t ->
+  ?checkpoint:string ->
   Fault_sim.t -> Tpg.t -> tests:bool array array -> targets:Bitvec.t -> config:config -> t

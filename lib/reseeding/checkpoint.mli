@@ -1,0 +1,57 @@
+(** Crash-safe persistence for the Detection Matrix build.
+
+    The matrix rows are pure functions of the build inputs (ATPG tests,
+    target mask, TPG, builder config), so a build interrupted by a
+    deadline or SIGINT can resume bit-identically from whatever rows it
+    managed to finish.  Rows are persisted in fixed-size {!chunk_rows}
+    groups, one file per group, each carrying:
+
+    - a magic tag and format version;
+    - a 64-bit FNV-1a {!fingerprint} of the build inputs, so a checkpoint
+      directory reused for a different circuit/TPG/config is detected and
+      auto-reset instead of silently mixed in;
+    - the row range, the column count, the payload length and a payload
+      checksum.
+
+    Files are written to a [.tmp] name and renamed into place, so a chunk
+    either exists complete or not at all; a truncated or corrupt chunk is
+    simply ignored on {!restore} and its rows re-simulated. *)
+
+open Reseed_util
+
+type t
+
+(** Rows per chunk file — the granularity of both persistence and loss. *)
+val chunk_rows : int
+
+(** [fingerprint ~tests ~targets ~cycles ~seed ~operand_tag ~tpg ~width]
+    digests every input the matrix rows depend on. *)
+val fingerprint :
+  tests:bool array array ->
+  targets:Bitvec.t ->
+  cycles:int ->
+  seed:int ->
+  operand_tag:string ->
+  tpg:string ->
+  width:int ->
+  int64
+
+(** [open_dir ~dir ~fingerprint ~rows ~cols] creates [dir] if needed and
+    validates its [META] file; on fingerprint mismatch (or a fresh
+    directory) all stale chunks are removed and a new [META] written.
+    Raises {!Error.Reseed_error} ([Input_error]) when [dir] cannot be
+    created or written. *)
+val open_dir : dir:string -> fingerprint:int64 -> rows:int -> cols:int -> t
+
+val dir : t -> string
+
+(** [store t ~lo ~hi ~useful ~row] persists rows [lo..hi-1] as one chunk:
+    [useful i] is the row's useful-cycle count, [row i] its detection
+    bitvector (width [cols]).  Atomic: write-then-rename. *)
+val store : t -> lo:int -> hi:int -> useful:(int -> int) -> row:(int -> Bitvec.t) -> unit
+
+(** [restore t f] calls [f ~row ~useful bits] for every row of every
+    valid chunk in the directory and returns the number of rows
+    delivered.  Invalid chunks (bad magic, version, fingerprint, bounds,
+    checksum, or unreadable file) are skipped silently. *)
+val restore : t -> (row:int -> useful:int -> Bitvec.t -> unit) -> int

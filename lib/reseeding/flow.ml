@@ -25,11 +25,14 @@ type result = {
   initial : Builder.t;
   solution : Solution.t;
   final_triplets : Triplet.t list;
+  dropped_triplets : int;
   test_length : int;
   uniform_test_length : int;
   coverage_pct : float;
   fault_sims : int;
   elapsed_s : float;
+  degraded : bool;
+  stop_reason : Budget.stop_reason option;
 }
 
 let reseedings r = List.length r.final_triplets
@@ -40,6 +43,7 @@ let reseedings r = List.length r.final_triplets
 let truncate_solution sim tpg ~triplets ~targets rows =
   let active = Bitvec.copy targets in
   let final = ref [] in
+  let dropped = ref 0 in
   List.iter
     (fun row ->
       let triplet = triplets.(row) in
@@ -54,17 +58,22 @@ let truncate_solution sim tpg ~triplets ~targets rows =
               if p > !last_useful then last_useful := p
           | _ -> ())
         firsts;
-      (* A minimal cover gives every selected triplet some unique fault. *)
+      (* A *minimal* cover gives every selected triplet some unique fault,
+         so nothing is dropped on the optimal path.  A degraded (greedy /
+         incumbent) cover can select redundant rows; those are dropped
+         from the final reseeding and counted, not silently vanished. *)
       if !last_useful >= 0 then
-        final := Triplet.truncate triplet (!last_useful + 1) :: !final)
+        final := Triplet.truncate triplet (!last_useful + 1) :: !final
+      else incr dropped)
     rows;
-  (List.rev !final, active)
+  (List.rev !final, active, !dropped)
 
-let run ?(config = default_config) ?pool sim tpg ~tests ~targets =
+let run ?(config = default_config) ?pool ?budget ?checkpoint sim tpg ~tests ~targets =
   let t0 = Unix.gettimeofday () in
   let sims_before = Fault_sim.sims_performed sim in
   let initial =
-    Builder.build ?pool sim tpg ~tests ~targets ~config:config.builder
+    Builder.build ?pool ?budget ?checkpoint sim tpg ~tests ~targets
+      ~config:config.builder
   in
   let row_weights =
     match config.objective with
@@ -74,9 +83,9 @@ let run ?(config = default_config) ?pool sim tpg ~tests ~targets =
   in
   let solution =
     Solution.solve ~method_:config.method_ ~reduce_config:config.reduce
-      ?row_weights initial.Builder.matrix
+      ?row_weights ?budget initial.Builder.matrix
   in
-  let final_triplets, missed =
+  let final_triplets, missed, dropped =
     truncate_solution sim tpg ~triplets:initial.Builder.triplets ~targets
       solution.Solution.rows
   in
@@ -92,11 +101,15 @@ let run ?(config = default_config) ?pool sim tpg ~tests ~targets =
     initial;
     solution;
     final_triplets;
+    dropped_triplets = dropped;
     test_length;
     uniform_test_length = List.length final_triplets * max_cycles;
     coverage_pct = Stats.pct covered (max 1 (Bitvec.count targets));
     fault_sims = Fault_sim.sims_performed sim - sims_before;
     elapsed_s = Unix.gettimeofday () -. t0;
+    degraded =
+      solution.Solution.stats.Solution.degraded || initial.Builder.rows_skipped > 0;
+    stop_reason = Option.join (Option.map Budget.stop_reason budget);
   }
 
 let verify sim tpg r =

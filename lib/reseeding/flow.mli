@@ -33,23 +33,54 @@ type result = {
   initial : Builder.t;  (** the initial reseeding and its matrix *)
   solution : Solution.t;  (** selected row indices + pipeline stats *)
   final_triplets : Triplet.t list;  (** truncated, in application order *)
+  dropped_triplets : int;
+      (** selected rows dropped by the Section-4 truncation because they
+          detected no fault the earlier triplets missed — 0 for a minimal
+          cover, possibly positive for a degraded (incumbent/greedy) one *)
   test_length : int;  (** Σ truncated burst lengths *)
   uniform_test_length : int;  (** |N| × max burst length (uniform-T mode) *)
-  coverage_pct : float;  (** over the target list F — 100 by construction *)
+  coverage_pct : float;
+      (** over the target list F — 100 by construction unless the run was
+          [degraded], in which case it honestly reports what the partial
+          reseeding covers *)
   fault_sims : int;  (** total injections for matrix + accounting *)
   elapsed_s : float;
+  degraded : bool;
+      (** the budget expired somewhere: matrix rows were skipped and/or
+          the solver returned a suboptimal incumbent *)
+  stop_reason : Budget.stop_reason option;
+      (** why the budget tripped, when it did *)
 }
 
 (** [reseedings r] is the paper's “#Triplets”. *)
 val reseedings : result -> int
 
-(** [run ?config ?pool sim tpg ~tests ~targets] executes the whole flow.
-    [tests] is the deterministic test set (ATPGTS), [targets] the fault
-    list F.  [pool] is forwarded to the parallel Detection-Matrix build
-    ({!Builder.build}). *)
+(** [truncate_solution sim tpg ~triplets ~targets rows] — the Section-4
+    accounting pass: applies the selected [rows] in order with fault
+    dropping, truncating each burst after its last useful pattern.
+    Returns (truncated triplets, still-undetected targets, number of
+    selected rows dropped as useless).  Exposed for tests. *)
+val truncate_solution :
+  Fault_sim.t ->
+  Tpg.t ->
+  triplets:Triplet.t array ->
+  targets:Bitvec.t ->
+  int list ->
+  Triplet.t list * Bitvec.t * int
+
+(** [run ?config ?pool ?budget ?checkpoint sim tpg ~tests ~targets]
+    executes the whole flow.  [tests] is the deterministic test set
+    (ATPGTS), [targets] the fault list F.  [pool] is forwarded to the
+    parallel Detection-Matrix build ({!Builder.build}), [budget] to every
+    expensive phase (matrix build and covering solver), [checkpoint] to
+    the matrix build for crash-safe resume.  On budget expiry the result
+    is valid but possibly partial: see [degraded], [coverage_pct] and
+    {!Builder.t.rows_skipped}. *)
 val run :
   ?config:config ->
   ?pool:Pool.t ->
+  ?budget:Budget.t ->
+  ?checkpoint:string ->
   Fault_sim.t ->
   Tpg.t ->
   tests:bool array array ->

@@ -14,10 +14,12 @@ type prepared = {
   collapse : Collapse.t option;
 }
 
-let prepare_circuit ?atpg_config ?sim_engine ?(collapse = false) circuit =
+let prepare_circuit ?atpg_config ?sim_engine ?(collapse = false) ?budget circuit =
   let classes = if collapse then Some (Collapse.compute circuit) else None in
   let faults = Option.map Collapse.reps classes in
-  let sim, atpg = Atpg.run_circuit ?config:atpg_config ?sim_engine ?faults circuit in
+  let sim, atpg =
+    Atpg.run_circuit ?config:atpg_config ?sim_engine ?faults ?budget circuit
+  in
   {
     circuit;
     sim;
@@ -27,8 +29,9 @@ let prepare_circuit ?atpg_config ?sim_engine ?(collapse = false) circuit =
     collapse = classes;
   }
 
-let prepare ?scale_factor ?atpg_config ?sim_engine ?collapse name =
-  prepare_circuit ?atpg_config ?sim_engine ?collapse (Library.load ?scale_factor name)
+let prepare ?scale_factor ?atpg_config ?sim_engine ?collapse ?budget name =
+  prepare_circuit ?atpg_config ?sim_engine ?collapse ?budget
+    (Library.load ?scale_factor name)
 
 (* Universe-level coverage implied by a detection set over the prepared
    fault list: expanded through the collapse classes when present,

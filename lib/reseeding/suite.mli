@@ -27,21 +27,25 @@ type prepared = {
     selects the fault-simulation engine every downstream phase uses
     (default [Fault_sim.Hybrid]).  [collapse] (default [false]) simulates
     one representative per structural fault class ({!Collapse}),
-    shrinking every downstream fault-simulation. *)
+    shrinking every downstream fault-simulation.  [budget] bounds the
+    ATPG front-end (see {!Atpg.run}): on expiry the test set is partial
+    but sound, and [targets] shrinks accordingly. *)
 val prepare :
   ?scale_factor:int ->
   ?atpg_config:Atpg.config ->
   ?sim_engine:Fault_sim.engine ->
   ?collapse:bool ->
+  ?budget:Budget.t ->
   string ->
   prepared
 
-(** [prepare_circuit ?atpg_config ?sim_engine ?collapse c] — same, for an
-    arbitrary circuit. *)
+(** [prepare_circuit ?atpg_config ?sim_engine ?collapse ?budget c] —
+    same, for an arbitrary circuit. *)
 val prepare_circuit :
   ?atpg_config:Atpg.config ->
   ?sim_engine:Fault_sim.engine ->
   ?collapse:bool ->
+  ?budget:Budget.t ->
   Circuit.t ->
   prepared
 

@@ -1,15 +1,28 @@
 open Reseed_util
 
+type stop_reason = Complete | Node_limit | Budget of Budget.stop_reason
+
+let stop_reason_name = function
+  | Complete -> "complete"
+  | Node_limit -> "node-limit"
+  | Budget r -> Budget.stop_reason_name r
+
 type result = {
   selected : int list;
   cost : float;
   optimal : bool;
   nodes_explored : int;
+  stop_reason : stop_reason;
 }
 
 let epsilon = 1e-9
 
-let solve ?weights ?(node_limit = 2_000_000) m =
+(* Wall-clock polls are throttled to once per [budget_stride] nodes: a
+   search node costs well under a microsecond, so the deadline is honoured
+   within a few milliseconds without a clock read per node. *)
+let budget_stride = 4096
+
+let solve ?weights ?(node_limit = 2_000_000) ?budget m =
   let n_rows = Matrix.rows m and n_cols = Matrix.cols m in
   let weights =
     match weights with
@@ -25,14 +38,25 @@ let solve ?weights ?(node_limit = 2_000_000) m =
       invalid_arg "Ilp.solve: infeasible (uncoverable column)"
     else Bitvec.set all_need j
   done;
-  (* Incumbent: greedy upper bound. *)
+  (* Incumbent: greedy upper bound — also the anytime fallback returned
+     when the node or wall-clock budget expires before the search ends. *)
   let greedy_rows = Greedy.solve m in
   let best_set = ref greedy_rows in
   let best_cost =
     ref (List.fold_left (fun acc i -> acc +. weights.(i)) 0. greedy_rows)
   in
   let nodes = ref 0 in
-  let out_of_budget = ref false in
+  let stop = ref None in
+  let out_of_budget () = !stop <> None in
+  let note_budget () =
+    if !stop = None then
+      match budget with
+      | Some b when !nodes mod budget_stride = 0 && Budget.expired b ->
+          (match Budget.stop_reason b with
+          | Some r -> stop := Some (Budget r)
+          | None -> ())
+      | _ -> ()
+  in
   (* Weighted independent-column bound: columns whose covering-row sets
      are pairwise disjoint need pairwise distinct rows, so the cheapest
      row of each is a valid additive lower bound. *)
@@ -55,10 +79,12 @@ let solve ?weights ?(node_limit = 2_000_000) m =
     !lb
   in
   let rec branch need chosen cost =
-    if !out_of_budget then ()
+    if out_of_budget () then ()
     else begin
       incr nodes;
-      if !nodes > node_limit then out_of_budget := true
+      note_budget ();
+      if !nodes > node_limit then stop := Some Node_limit
+      else if out_of_budget () then ()
       else if Bitvec.is_empty need then begin
         if cost < !best_cost -. epsilon then begin
           best_cost := cost;
@@ -96,10 +122,18 @@ let solve ?weights ?(node_limit = 2_000_000) m =
       end
     end
   in
+  (* A budget that expired before the search even starts (e.g. the matrix
+     build consumed the whole allowance) returns the greedy incumbent
+     immediately. *)
+  (match budget with
+  | Some b when Budget.expired b ->
+      (match Budget.stop_reason b with Some r -> stop := Some (Budget r) | None -> ())
+  | _ -> ());
   branch all_need [] 0.;
   {
     selected = List.sort compare !best_set;
     cost = !best_cost;
-    optimal = not !out_of_budget;
+    optimal = !stop = None;
     nodes_explored = !nodes;
+    stop_reason = (match !stop with None -> Complete | Some r -> r);
   }

@@ -1,25 +1,44 @@
 (** Exact 0/1 integer solver for (weighted) unate set covering — the
-    *LINGO* substitute.
+    *LINGO* substitute, run as an anytime algorithm.
 
     minimize    Σ w_i·x_i
     subject to  A·x ≥ 1 (every column covered),  x ∈ {0,1}^rows
 
     Branch-and-bound: branch on the hardest column (fewest covering
     rows), bound with a weighted independent-column lower bound plus the
-    cost so far, seed the incumbent with the greedy solution.  The search
-    is exhaustive, so on return with [optimal = true] the result is a
-    global optimum — exactly what the paper gets out of LINGO on the
-    reduced matrix. *)
+    cost so far, seed the incumbent with the greedy solution.  When the
+    search runs to completion ([stop_reason = Complete], [optimal =
+    true]) the result is a global optimum — exactly what the paper gets
+    out of LINGO on the reduced matrix.  When the node limit or the
+    wall-clock budget trips first, the best incumbent found so far (at
+    worst the greedy seed, always a valid cover) is returned with
+    [optimal = false] and the reason recorded. *)
+
+open Reseed_util
+
+type stop_reason =
+  | Complete  (** exhaustive search finished: global optimum *)
+  | Node_limit  (** [node_limit] exhausted: best incumbent returned *)
+  | Budget of Budget.stop_reason
+      (** wall-clock deadline or cancellation: best incumbent returned *)
+
+(** [stop_reason_name r] is ["complete"], ["node-limit"], ["deadline"] or
+    ["cancelled"]. *)
+val stop_reason_name : stop_reason -> string
 
 type result = {
-  selected : int list;  (** chosen row indices, ascending *)
+  selected : int list;  (** chosen row indices, ascending — a valid cover *)
   cost : float;
-  optimal : bool;  (** false only when the node budget was exhausted *)
+  optimal : bool;  (** [stop_reason = Complete] *)
   nodes_explored : int;
+  stop_reason : stop_reason;
 }
 
-(** [solve ?weights ?node_limit m] — [weights] defaults to all-ones
-    (cardinality minimisation); [node_limit] defaults to 2_000_000.
-    Raises [Invalid_argument] if some column is coverable by no row
-    (infeasible) — reduce first, or check {!Matrix.uncoverable}. *)
-val solve : ?weights:float array -> ?node_limit:int -> Matrix.t -> result
+(** [solve ?weights ?node_limit ?budget m] — [weights] defaults to
+    all-ones (cardinality minimisation); [node_limit] defaults to
+    2_000_000; [budget] bounds wall-clock time (polled every few thousand
+    nodes; an already-expired budget returns the greedy incumbent without
+    branching).  Raises [Invalid_argument] if some column is coverable by
+    no row (infeasible) — reduce first, or check {!Matrix.uncoverable}. *)
+val solve :
+  ?weights:float array -> ?node_limit:int -> ?budget:Budget.t -> Matrix.t -> result

@@ -10,11 +10,23 @@ type stats = {
   reduction_iterations : int;
   solver_nodes : int;
   solver_optimal : bool;
+  solver_stop : Ilp.stop_reason;
+  degraded : bool;
 }
 
 type t = { rows : int list; stats : stats }
 
-let solve ?(method_ = Exact) ?reduce_config ?row_weights m =
+(* An exact method whose end-game stopped early delivered the incumbent
+   (greedy at worst) instead of a proven optimum: record that honestly.
+   [Greedy_only] is not degraded — suboptimality is the method's
+   contract, not a budget casualty. *)
+let is_degraded method_ stop =
+  match (method_, stop) with
+  | Greedy_only, _ -> false
+  | (Exact | No_reduction_exact), Ilp.Complete -> false
+  | (Exact | No_reduction_exact), _ -> true
+
+let solve ?(method_ = Exact) ?reduce_config ?row_weights ?budget m =
   match method_ with
   | No_reduction_exact ->
       (* Uncoverable columns are unreachable for any solution: mask them
@@ -38,7 +50,7 @@ let solve ?(method_ = Exact) ?reduce_config ?row_weights m =
               keep;
             sub
       in
-      let r = Ilp.solve ?weights:row_weights m in
+      let r = Ilp.solve ?weights:row_weights ?budget m in
       {
         rows = r.Ilp.selected;
         stats =
@@ -52,26 +64,32 @@ let solve ?(method_ = Exact) ?reduce_config ?row_weights m =
             reduction_iterations = 0;
             solver_nodes = r.Ilp.nodes_explored;
             solver_optimal = r.Ilp.optimal;
+            solver_stop = r.Ilp.stop_reason;
+            degraded = is_degraded method_ r.Ilp.stop_reason;
           };
       }
   | Exact | Greedy_only ->
       let red = Reduce.run ?config:reduce_config ?row_weights m in
       let residual, row_map, _col_map = Reduce.residual m red in
-      let from_solver, nodes, optimal =
-        if Matrix.rows residual = 0 || Matrix.cols residual = 0 then ([], 0, true)
+      let from_solver, nodes, stop, optimal =
+        if Matrix.rows residual = 0 || Matrix.cols residual = 0 then
+          ([], 0, Ilp.Complete, true)
         else
           match method_ with
           | Greedy_only ->
               let picks = Greedy.solve residual in
-              (List.map (fun ri -> row_map.(ri)) picks, 0, false)
+              (List.map (fun ri -> row_map.(ri)) picks, 0, Ilp.Complete, false)
           | Exact | No_reduction_exact ->
               let weights =
                 Option.map
                   (fun w -> Array.map (fun ri -> w.(ri)) row_map)
                   row_weights
               in
-              let r = Ilp.solve ?weights residual in
-              (List.map (fun ri -> row_map.(ri)) r.Ilp.selected, r.Ilp.nodes_explored, r.Ilp.optimal)
+              let r = Ilp.solve ?weights ?budget residual in
+              ( List.map (fun ri -> row_map.(ri)) r.Ilp.selected,
+                r.Ilp.nodes_explored,
+                r.Ilp.stop_reason,
+                r.Ilp.optimal )
       in
       let rows = List.sort_uniq compare (red.Reduce.necessary @ from_solver) in
       {
@@ -87,6 +105,8 @@ let solve ?(method_ = Exact) ?reduce_config ?row_weights m =
             reduction_iterations = red.Reduce.iterations;
             solver_nodes = nodes;
             solver_optimal = optimal;
+            solver_stop = stop;
+            degraded = is_degraded method_ stop;
           };
       }
 

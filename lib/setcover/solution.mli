@@ -6,6 +6,8 @@
     reduction and the rows chosen by the exact solver on the reduced
     matrix. *)
 
+open Reseed_util
+
 type method_ = Exact | Greedy_only | No_reduction_exact
 
 type stats = {
@@ -18,6 +20,11 @@ type stats = {
   reduction_iterations : int;
   solver_nodes : int;
   solver_optimal : bool;
+  solver_stop : Ilp.stop_reason;  (** why the end-game solver stopped *)
+  degraded : bool;
+      (** an exact method handed back a possibly-suboptimal (but valid)
+          incumbent because a node or wall-clock budget expired — never
+          set for [Greedy_only], whose suboptimality is intentional *)
 }
 
 type t = { rows : int list;  (** the final solution N, ascending *) stats : stats }
@@ -29,11 +36,18 @@ type t = { rows : int list;  (** the final solution N, ascending *) stats : stat
 
     [row_weights] switches the exact objective from cardinality to
     weighted cost (e.g. estimated per-triplet test length); reduction
-    honours the weights, the greedy method ignores them. *)
+    honours the weights, the greedy method ignores them.
+
+    [budget] bounds the exact end-game: on expiry the solver's best
+    incumbent (the greedy cover at worst) is used and the degradation is
+    recorded in {!stats} ([degraded], [solver_stop]) instead of
+    pretending optimality.  The returned rows are always a valid cover of
+    the coverable columns. *)
 val solve :
   ?method_:method_ ->
   ?reduce_config:Reduce.config ->
   ?row_weights:float array ->
+  ?budget:Budget.t ->
   Matrix.t ->
   t
 

@@ -184,6 +184,32 @@ let to_list v = List.rev (fold_ones (fun acc i -> i :: acc) [] v)
 
 let append_ones v buf = fold_ones (fun acc i -> i :: acc) buf v
 
+(* 8 bits per byte, independent of the 62-bit packing, so the encoding is
+   stable across any future change of the in-memory word layout. *)
+let to_bytes v =
+  let nb = (v.len + 7) / 8 in
+  let b = Bytes.make nb '\000' in
+  for i = 0 to v.len - 1 do
+    if v.words.(i / bits_per_word) lsr (i mod bits_per_word) land 1 = 1 then
+      Bytes.set_uint8 b (i / 8) (Bytes.get_uint8 b (i / 8) lor (1 lsl (i mod 8)))
+  done;
+  b
+
+let of_bytes n b =
+  if n < 0 then invalid_arg "Bitvec.of_bytes: negative length";
+  if Bytes.length b <> (n + 7) / 8 then invalid_arg "Bitvec.of_bytes: size mismatch";
+  let v = create n in
+  for i = 0 to n - 1 do
+    if Bytes.get_uint8 b (i / 8) lsr (i mod 8) land 1 = 1 then set v i
+  done;
+  (* Padding bits beyond [n] must be zero: catches truncation/corruption
+     that a length check alone would miss. *)
+  if n mod 8 <> 0 then begin
+    let last = Bytes.get_uint8 b (Bytes.length b - 1) in
+    if last lsr (n mod 8) <> 0 then invalid_arg "Bitvec.of_bytes: nonzero padding"
+  end;
+  v
+
 let pp ppf v =
   Format.fprintf ppf "{";
   let first = ref true in

@@ -101,6 +101,16 @@ val to_list : t -> int list
 (** [append_ones v buf] pushes indices of set bits onto [buf]. *)
 val append_ones : t -> int list -> int list
 
+(** [to_bytes v] is a compact little-endian byte serialisation (8 bits
+    per byte, [ceil (length / 8)] bytes); platform- and version-stable,
+    used by the checkpoint format. *)
+val to_bytes : t -> bytes
+
+(** [of_bytes n b] rebuilds a vector of length [n] from {!to_bytes}
+    output.  Raises [Invalid_argument] on a size mismatch or when padding
+    bits beyond [n] are set. *)
+val of_bytes : int -> bytes -> t
+
 (** [pp] prints as a ["{1,5,9}"]-style set, for debugging. *)
 val pp : Format.formatter -> t -> unit
 

@@ -1,0 +1,48 @@
+(** Wall-clock deadlines and cooperative cancellation.
+
+    A budget is a thread-safe token threaded through the expensive phases
+    of the flow (detection-matrix build, branch-and-bound, ATPG, GA
+    rounds, fault-simulation sweeps).  Hot loops poll {!expired} at a
+    coarse granularity — one matrix row, one simulation block, a few
+    thousand search nodes — and wind down gracefully when it trips,
+    returning the best valid partial result instead of raising.
+
+    Two stop sources share one token: a wall-clock [deadline] fixed at
+    creation, and {!cancel}, which any domain (or a signal handler) may
+    call at any time.  Once a budget has expired it stays expired. *)
+
+type t
+
+type stop_reason =
+  | Deadline  (** the wall-clock deadline passed *)
+  | Cancelled  (** {!cancel} was called (e.g. from a SIGINT handler) *)
+
+(** [stop_reason_name r] is ["deadline"] or ["cancelled"]. *)
+val stop_reason_name : stop_reason -> string
+
+(** [create ?deadline_s ()] — [deadline_s] is a wall-clock allowance in
+    seconds measured from now; omitted means no time limit (the budget
+    can still be {!cancel}led).  [deadline_s <= 0.] expires immediately. *)
+val create : ?deadline_s:float -> unit -> t
+
+(** [cancel t] trips the budget from any domain.  Idempotent; safe to
+    call from a signal handler. *)
+val cancel : t -> unit
+
+(** [expired t] — true once the deadline has passed or [cancel] was
+    called.  Cheap (one atomic load on the fast path after first expiry;
+    one clock read otherwise), but hot loops should still throttle calls
+    to a coarse granularity. *)
+val expired : t -> bool
+
+(** [stop_reason t] is [None] while the budget is live.  [Cancelled]
+    takes precedence over [Deadline] when both apply. *)
+val stop_reason : t -> stop_reason option
+
+(** [remaining_s t] is the wall-clock time left, [infinity] when no
+    deadline was set, and [0.] once expired. *)
+val remaining_s : t -> float
+
+(** [check b] — [expired] lifted over an optional budget: [false] when
+    [b] is [None].  The idiom for [?budget] parameters. *)
+val check : t option -> bool

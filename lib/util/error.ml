@@ -1,0 +1,61 @@
+type code =
+  | Usage
+  | Input_error
+  | Infeasible
+  | Task_failed
+  | Interrupted
+  | Internal
+
+type t = {
+  code : code;
+  message : string;
+  file : string option;
+  line : int option;
+  column : int option;
+}
+
+exception Reseed_error of t
+
+let exit_code = function
+  | Usage -> 2
+  | Input_error -> 3
+  | Infeasible -> 4
+  | Task_failed -> 5
+  | Internal -> 70
+  | Interrupted -> 130
+
+let code_name = function
+  | Usage -> "usage"
+  | Input_error -> "input"
+  | Infeasible -> "infeasible"
+  | Task_failed -> "task"
+  | Interrupted -> "interrupted"
+  | Internal -> "internal"
+
+let fail ?file ?line ?column code fmt =
+  Printf.ksprintf
+    (fun message -> raise (Reseed_error { code; message; file; line; column }))
+    fmt
+
+let to_string e =
+  let b = Buffer.create 64 in
+  (match e.file with
+  | Some f -> Buffer.add_string b (f ^ ":")
+  | None -> ());
+  (match e.line with
+  | Some l ->
+      Buffer.add_string b (string_of_int l ^ ":");
+      (match e.column with
+      | Some c -> Buffer.add_string b (string_of_int c ^ ":")
+      | None -> ())
+  | None -> ());
+  if Buffer.length b > 0 then Buffer.add_char b ' ';
+  Buffer.add_string b e.message;
+  Buffer.contents b
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Reseed_error e -> Some (Printf.sprintf "Reseed_error(%s: %s)" (code_name e.code) (to_string e))
+    | _ -> None)

@@ -4,10 +4,30 @@
    schedule is dynamic but every index runs exactly once and lands in its
    own result slot — results are independent of the job count. *)
 
+exception
+  Task_error of {
+    label : string;
+    worker : int;
+    lo : int;
+    hi : int;
+    attempts : int;
+    exn : exn;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Task_error { label; worker; lo; hi; attempts; exn } ->
+        Some
+          (Printf.sprintf
+             "Pool.Task_error(task %S, worker %d, chunk [%d,%d), %d attempts: %s)"
+             label worker lo hi attempts (Printexc.to_string exn))
+    | _ -> None)
+
 type job = {
   id : int;
   total : int;
   chunk : int;
+  label : string;
   next : int Atomic.t;  (* next unclaimed index *)
   failed : bool Atomic.t;  (* set on first exception: later chunks are skipped *)
   body : worker:int -> lo:int -> hi:int -> unit;
@@ -39,6 +59,21 @@ let default_jobs () =
     | _ -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
+(* A chunk that raises is retried once on the same worker before the job
+   is declared failed — transient faults (resource blips, interrupted
+   syscalls) heal; deterministic ones cost one duplicate run.  Chunk
+   bodies therefore must be idempotent per index (every combinator here
+   writes result slot [i] from task [i], which is).  The surviving
+   exception is wrapped in {!Task_error} so the caller learns which task,
+   worker and index range failed. *)
+let run_body j ~worker ~lo ~hi =
+  try j.body ~worker ~lo ~hi with
+  | Task_error _ as e -> raise e (* already contained (and retried) deeper down *)
+  | _first -> (
+      try j.body ~worker ~lo ~hi
+      with e ->
+        raise (Task_error { label = j.label; worker; lo; hi; attempts = 2; exn = e }))
+
 (* Every claimed chunk is accounted exactly once, run or skipped, so
    [completed = total] is the completion condition even after a failure. *)
 let run_chunks j ~worker =
@@ -49,7 +84,7 @@ let run_chunks j ~worker =
     else begin
       let hi = min j.total (lo + j.chunk) in
       (if not (Atomic.get j.failed) then
-         try j.body ~worker ~lo ~hi
+         try run_body j ~worker ~lo ~hi
          with e ->
            Atomic.set j.failed true;
            Mutex.lock j.jm;
@@ -141,11 +176,19 @@ let default () =
 
 let resolve = function Some t -> t | None -> default ()
 
-let parallel_for ?pool ?chunk ~total body =
+let run_inline ~label ~total body =
+  try body ~worker:0 ~lo:0 ~hi:total with
+  | Task_error _ as e -> raise e
+  | _first -> (
+      try body ~worker:0 ~lo:0 ~hi:total
+      with e ->
+        raise (Task_error { label; worker = 0; lo = 0; hi = total; attempts = 2; exn = e }))
+
+let parallel_for ?pool ?chunk ?(label = "parallel region") ~total body =
   if total > 0 then begin
     let t = resolve pool in
     if t.n_jobs = 1 || t.shut || not (Atomic.compare_and_set t.busy false true)
-    then body ~worker:0 ~lo:0 ~hi:total
+    then run_inline ~label ~total body
     else
       Fun.protect
         ~finally:(fun () -> Atomic.set t.busy false)
@@ -162,6 +205,7 @@ let parallel_for ?pool ?chunk ~total body =
               id = t.next_id;
               total;
               chunk;
+              label;
               next = Atomic.make 0;
               failed = Atomic.make false;
               body;
@@ -188,11 +232,11 @@ let parallel_for ?pool ?chunk ~total body =
           match e with Some e -> raise e | None -> ())
   end
 
-let parallel_init ?pool ?chunk n f =
+let parallel_init ?pool ?chunk ?label n f =
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    parallel_for ?pool ?chunk ~total:n (fun ~worker:_ ~lo ~hi ->
+    parallel_for ?pool ?chunk ?label ~total:n (fun ~worker:_ ~lo ~hi ->
         for i = lo to hi - 1 do
           out.(i) <- Some (f i)
         done);
@@ -201,5 +245,5 @@ let parallel_init ?pool ?chunk n f =
       out
   end
 
-let parallel_map_array ?pool ?chunk f arr =
-  parallel_init ?pool ?chunk (Array.length arr) (fun i -> f arr.(i))
+let parallel_map_array ?pool ?chunk ?label f arr =
+  parallel_init ?pool ?chunk ?label (Array.length arr) (fun i -> f arr.(i))

@@ -18,6 +18,23 @@
 
 type t
 
+(** Raised by the [parallel_*] combinators when a chunk body keeps
+    failing: the chunk is retried once on the same worker (transient
+    faults heal; bodies must be idempotent per index, which every slot-
+    writing combinator here is), then the surviving exception is wrapped
+    with its task context — the region's [label], the worker slot and the
+    index range — so failures in a fleet of domains stay attributable.
+    The first failing chunk wins; chunks not yet started are skipped. *)
+exception
+  Task_error of {
+    label : string;  (** the [?label] of the failed region *)
+    worker : int;  (** participant slot that ran the chunk *)
+    lo : int;  (** failed index range, [lo] inclusive *)
+    hi : int;  (** … [hi] exclusive *)
+    attempts : int;  (** runs of the chunk body, including the retry *)
+    exn : exn;  (** the underlying exception (last attempt's) *)
+  }
+
 (** [default_jobs ()] is the parallelism used by {!default}: the
     [RESEED_JOBS] environment variable when set to a positive integer,
     otherwise [Domain.recommended_domain_count ()]. *)
@@ -42,20 +59,29 @@ val shutdown : t -> unit
 (** [with_pool ~jobs f] runs [f pool] and always shuts the pool down. *)
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 
-(** [parallel_for ?pool ?chunk ~total body] runs [body ~worker ~lo ~hi]
-    over disjoint chunks covering [0 .. total-1] ([lo] inclusive, [hi]
-    exclusive).  [worker] identifies the participant slot executing the
-    chunk — index per-worker scratch (e.g. {i Fault_sim} shards) with it.
-    [chunk] is the claim granularity (default: coarse, [total/(8*jobs)]).
-    Exceptions raised by [body] are re-raised in the caller (first one
-    wins) after every participant has stopped. *)
+(** [parallel_for ?pool ?chunk ?label ~total body] runs
+    [body ~worker ~lo ~hi] over disjoint chunks covering [0 .. total-1]
+    ([lo] inclusive, [hi] exclusive).  [worker] identifies the
+    participant slot executing the chunk — index per-worker scratch
+    (e.g. {i Fault_sim} shards) with it.  [chunk] is the claim
+    granularity (default: coarse, [total/(8*jobs)]).  [label] names the
+    region in failure reports (default ["parallel region"]).  A chunk
+    that raises is retried once; a second failure is re-raised in the
+    caller as {!Task_error} (first failing chunk wins) after every
+    participant has stopped — the pool itself never hangs or dies. *)
 val parallel_for :
-  ?pool:t -> ?chunk:int -> total:int -> (worker:int -> lo:int -> hi:int -> unit) -> unit
+  ?pool:t ->
+  ?chunk:int ->
+  ?label:string ->
+  total:int ->
+  (worker:int -> lo:int -> hi:int -> unit) ->
+  unit
 
-(** [parallel_init ?pool ?chunk n f] is [Array.init n f] with the calls to
-    [f] distributed over the pool. *)
-val parallel_init : ?pool:t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
-
-(** [parallel_map_array ?pool ?chunk f arr] is [Array.map f arr] with the
+(** [parallel_init ?pool ?chunk ?label n f] is [Array.init n f] with the
     calls to [f] distributed over the pool. *)
-val parallel_map_array : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_init : ?pool:t -> ?chunk:int -> ?label:string -> int -> (int -> 'a) -> 'a array
+
+(** [parallel_map_array ?pool ?chunk ?label f arr] is [Array.map f arr]
+    with the calls to [f] distributed over the pool. *)
+val parallel_map_array :
+  ?pool:t -> ?chunk:int -> ?label:string -> ('a -> 'b) -> 'a array -> 'b array

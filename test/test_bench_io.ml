@@ -36,7 +36,8 @@ let expect_parse_error src =
   try
     ignore (Bench_io.parse ~name:"bad" src);
     false
-  with Bench_io.Parse_error _ -> true
+  with Reseed_util.Error.Reseed_error e ->
+    e.Reseed_util.Error.code = Reseed_util.Error.Input_error
 
 let test_errors () =
   check "undefined net" true (expect_parse_error "INPUT(a)\nOUTPUT(y)\ny = NOT(q)\n");

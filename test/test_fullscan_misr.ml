@@ -43,7 +43,7 @@ let test_full_scan_rejected_by_parse () =
     (try
        ignore (Bench_io.parse ~name:"moore" sequential_src);
        false
-     with Bench_io.Parse_error _ -> true)
+     with Reseed_util.Error.Reseed_error _ -> true)
 
 let test_full_scan_combinational_unchanged () =
   (* On a purely combinational source, full-scan parse = plain parse. *)

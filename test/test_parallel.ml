@@ -42,11 +42,15 @@ let test_pool_reuse_and_order () =
 let test_pool_exception () =
   Pool.with_pool ~jobs:4 (fun pool ->
       (match
-         Pool.parallel_for ~pool ~chunk:1 ~total:100 (fun ~worker:_ ~lo ~hi:_ ->
-             if lo = 42 then failwith "boom")
+         Pool.parallel_for ~pool ~chunk:1 ~label:"boom job" ~total:100
+           (fun ~worker:_ ~lo ~hi:_ -> if lo = 42 then failwith "boom")
        with
       | () -> Alcotest.fail "expected exception"
-      | exception Failure m -> check "exn propagated" true (m = "boom"));
+      | exception Pool.Task_error { label; lo; attempts; exn; _ } ->
+          check "exn propagated" true (exn = Failure "boom");
+          check "task label" true (label = "boom job");
+          check "failing chunk" true (lo = 42);
+          check "retried once" true (attempts = 2));
       (* The pool survives a failed job. *)
       let xs = Pool.parallel_init ~pool 100 (fun i -> i * i) in
       check "pool usable after failure" true (xs = Array.init 100 (fun i -> i * i)))

@@ -1,0 +1,375 @@
+(* Anytime-flow resilience: deadlines and cancellation degrade gracefully,
+   checkpointed matrix builds resume bit-identically (even past truncated
+   or stale chunk files), and pool worker failures surface structured
+   errors instead of hanging or killing the pool. *)
+
+open Reseed_core
+open Reseed_gatsby
+open Reseed_netlist
+open Reseed_setcover
+open Reseed_tpg
+open Reseed_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prepared_c17 = lazy (Suite.prepare "c17")
+
+let mk_matrix ~cols rows =
+  Matrix.of_rows ~cols (Array.of_list (List.map (Bitvec.of_list cols) rows))
+
+let temp_counter = ref 0
+
+let with_temp_dir f =
+  incr temp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "reseed-resilience-%d-%d" (Unix.getpid ()) !temp_counter)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* --- budgets --- *)
+
+let test_budget_latch () =
+  let b = Budget.create () in
+  check "live" false (Budget.expired b);
+  check "check None" false (Budget.check None);
+  Budget.cancel b;
+  check "cancelled" true (Budget.expired b);
+  check "reason" true (Budget.stop_reason b = Some Budget.Cancelled);
+  let d = Budget.create ~deadline_s:(-1.0) () in
+  check "past deadline" true (Budget.expired d);
+  check "deadline reason" true (Budget.stop_reason d = Some Budget.Deadline);
+  (* Cancel wins even after a deadline trip is possible. *)
+  let e = Budget.create ~deadline_s:(-1.0) () in
+  Budget.cancel e;
+  check "cancel precedence" true (Budget.stop_reason e = Some Budget.Cancelled)
+
+let test_ilp_expired_budget_returns_incumbent () =
+  (* 6x6 diagonal-ish instance: solvable, but the budget is already dead,
+     so the solver must hand back its greedy incumbent immediately. *)
+  let m =
+    mk_matrix ~cols:6
+      [ [ 0; 1; 2 ]; [ 2; 3 ]; [ 3; 4; 5 ]; [ 0; 5 ]; [ 1; 4 ]; [ 2; 5 ] ]
+  in
+  let budget = Budget.create ~deadline_s:0.0 () in
+  let r = Ilp.solve ~budget m in
+  check "not optimal" false r.Ilp.optimal;
+  check "stop reason" true (r.Ilp.stop_reason = Ilp.Budget Budget.Deadline);
+  check "incumbent covers" true (Matrix.covers m ~rows_subset:r.Ilp.selected);
+  (* Same instance unconstrained is solved to optimality. *)
+  let full = Ilp.solve m in
+  check "unconstrained optimal" true full.Ilp.optimal;
+  check "unconstrained complete" true (full.Ilp.stop_reason = Ilp.Complete);
+  check "incumbent no better than optimum" true
+    (List.length full.Ilp.selected <= List.length r.Ilp.selected)
+
+let test_solution_records_degradation () =
+  let m = mk_matrix ~cols:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 0; 3 ] ] in
+  let budget = Budget.create ~deadline_s:0.0 () in
+  (* Reduction alone can finish this instance; disable it so the solver
+     actually sees the budget. *)
+  let s = Solution.solve ~method_:Solution.No_reduction_exact ~budget m in
+  check "valid cover" true (Solution.verify m s);
+  check "degraded recorded" true s.Solution.stats.Solution.degraded;
+  check "solver not optimal" false s.Solution.stats.Solution.solver_optimal;
+  let live = Solution.solve ~method_:Solution.No_reduction_exact m in
+  check "live not degraded" false live.Solution.stats.Solution.degraded
+
+let test_ga_budget_stops_after_initial_cohort () =
+  let problem =
+    {
+      Ga.init = (fun rng -> Rng.int rng 1000);
+      fitness = (fun g -> float_of_int g);
+      crossover = (fun _ a b -> max a b);
+      mutate = (fun rng g -> g + Rng.int rng 3);
+    }
+  in
+  let budget = Budget.create () in
+  Budget.cancel budget;
+  let config = { Ga.default_config with Ga.population = 8; generations = 50 } in
+  let o = Ga.optimize ~config ~budget ~rng:(Rng.create 7) problem in
+  check "stopped early" true o.Ga.stopped_early;
+  check_int "only the initial cohort evaluated" 8 o.Ga.evaluations
+
+let test_builder_cancelled_budget_skips_all_rows () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let budget = Budget.create () in
+  Budget.cancel budget;
+  let b =
+    Builder.build ~budget p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets
+      ~config:Builder.default_config
+  in
+  check_int "all rows skipped" (Array.length p.Suite.tests) b.Builder.rows_skipped;
+  check "matrix rows empty" true
+    (Array.for_all
+       (fun i -> Bitvec.is_empty (Matrix.row b.Builder.matrix i))
+       (Array.init (Matrix.rows b.Builder.matrix) Fun.id));
+  (* The degraded matrix still flows through the covering pipeline. *)
+  let s = Solution.solve b.Builder.matrix in
+  check "solvable" true (Solution.verify b.Builder.matrix s)
+
+let test_flow_degraded_result_is_sound () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let budget = Budget.create () in
+  Budget.cancel budget;
+  let r = Flow.run ~budget p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets in
+  check "degraded" true r.Flow.degraded;
+  check "stop reason" true (r.Flow.stop_reason = Some Budget.Cancelled);
+  check "coverage honest" true (r.Flow.coverage_pct < 100.0);
+  check "no phantom triplets" true (List.length r.Flow.final_triplets = 0)
+
+(* --- checkpoint/resume --- *)
+
+let build_ck p tpg ?budget ?checkpoint () =
+  Builder.build ?budget ?checkpoint p.Suite.sim tpg ~tests:p.Suite.tests
+    ~targets:p.Suite.targets ~config:Builder.default_config
+
+let matrices_equal a b =
+  Matrix.rows a = Matrix.rows b
+  && Matrix.cols a = Matrix.cols b
+  && Array.for_all
+       (fun i -> Bitvec.equal (Matrix.row a i) (Matrix.row b i))
+       (Array.init (Matrix.rows a) Fun.id)
+
+let test_checkpoint_roundtrip_bit_identical () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let reference = build_ck p tpg () in
+  with_temp_dir (fun dir ->
+      let first = build_ck p tpg ~checkpoint:dir () in
+      check_int "nothing restored on first run" 0 first.Builder.rows_restored;
+      check "first run matches plain build" true
+        (matrices_equal reference.Builder.matrix first.Builder.matrix);
+      let resumed = build_ck p tpg ~checkpoint:dir () in
+      check_int "full restore"
+        (Array.length p.Suite.tests)
+        resumed.Builder.rows_restored;
+      check "resumed matrix bit-identical" true
+        (matrices_equal reference.Builder.matrix resumed.Builder.matrix);
+      check "useful cycles restored" true
+        (reference.Builder.useful_cycles = resumed.Builder.useful_cycles))
+
+let test_checkpoint_truncated_chunk_is_resimulated () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let reference = build_ck p tpg () in
+  with_temp_dir (fun dir ->
+      ignore (build_ck p tpg ~checkpoint:dir ());
+      (* Kill mid-write: truncate the first chunk inside a row record. *)
+      let chunk =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun n -> Filename.check_suffix n ".ck")
+        |> List.sort compare |> List.hd |> Filename.concat dir
+      in
+      let size = (Unix.stat chunk).Unix.st_size in
+      let fd = Unix.openfile chunk [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (size / 2);
+      Unix.close fd;
+      let resumed = build_ck p tpg ~checkpoint:dir () in
+      (* c17 fits in one chunk, so truncation can drop everything; what
+         matters is that the damaged chunk is not trusted. *)
+      check "truncated chunk dropped" true
+        (resumed.Builder.rows_restored < Array.length p.Suite.tests);
+      check "matrix still bit-identical" true
+        (matrices_equal reference.Builder.matrix resumed.Builder.matrix))
+
+let test_checkpoint_corrupt_payload_is_resimulated () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let reference = build_ck p tpg () in
+  with_temp_dir (fun dir ->
+      ignore (build_ck p tpg ~checkpoint:dir ());
+      let chunk =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun n -> Filename.check_suffix n ".ck")
+        |> List.sort compare |> List.hd |> Filename.concat dir
+      in
+      (* Flip one payload byte: the checksum must catch it. *)
+      let fd = Unix.openfile chunk [ Unix.O_RDWR ] 0 in
+      ignore (Unix.lseek fd 45 Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+      ignore (Unix.lseek fd 45 Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1);
+      Unix.close fd;
+      let resumed = build_ck p tpg ~checkpoint:dir () in
+      check "corrupt chunk dropped" true
+        (resumed.Builder.rows_restored < Array.length p.Suite.tests);
+      check "matrix still bit-identical" true
+        (matrices_equal reference.Builder.matrix resumed.Builder.matrix))
+
+let test_checkpoint_fingerprint_mismatch_resets () =
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  with_temp_dir (fun dir ->
+      ignore (build_ck p tpg ~checkpoint:dir ());
+      (* Different evolution length → different matrix → the stale chunks
+         must be wiped, not restored. *)
+      let other_config = { Builder.default_config with Builder.cycles = 40 } in
+      let other =
+        Builder.build ~checkpoint:dir p.Suite.sim tpg ~tests:p.Suite.tests
+          ~targets:p.Suite.targets ~config:other_config
+      in
+      check_int "stale chunks not restored" 0 other.Builder.rows_restored;
+      let reference =
+        Builder.build p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets
+          ~config:other_config
+      in
+      check "fresh matrix correct" true
+        (matrices_equal reference.Builder.matrix other.Builder.matrix))
+
+let test_checkpoint_interrupted_build_resumes_bit_identically () =
+  (* Cancel the budget part-way through a checkpointed build (after the
+     first chunk, via a budget that a worker trips), then resume without
+     a budget: D and the final solution must match an uninterrupted run. *)
+  let p = Lazy.force prepared_c17 in
+  let tpg = Accumulator.adder 5 in
+  let reference = build_ck p tpg () in
+  let ref_solution = Solution.solve reference.Builder.matrix in
+  with_temp_dir (fun dir ->
+      let budget = Budget.create () in
+      Budget.cancel budget;
+      let partial = build_ck p tpg ~budget ~checkpoint:dir () in
+      check "interrupted run incomplete" true (partial.Builder.rows_skipped > 0);
+      let resumed = build_ck p tpg ~checkpoint:dir () in
+      check_int "no rows skipped after resume" 0 resumed.Builder.rows_skipped;
+      check "resumed D bit-identical" true
+        (matrices_equal reference.Builder.matrix resumed.Builder.matrix);
+      let resumed_solution = Solution.solve resumed.Builder.matrix in
+      check "identical solution rows" true
+        (ref_solution.Solution.rows = resumed_solution.Solution.rows))
+
+(* --- pool failure containment --- *)
+
+let test_pool_task_error_context () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      match
+        Pool.parallel_for ~pool ~chunk:4 ~label:"resilience probe" ~total:20
+          (fun ~worker:_ ~lo ~hi:_ -> if lo = 8 then invalid_arg "injected")
+      with
+      | () -> Alcotest.fail "expected Task_error"
+      | exception Pool.Task_error { label; lo; hi; attempts; exn; _ } ->
+          check "label" true (label = "resilience probe");
+          check_int "chunk lo" 8 lo;
+          check_int "chunk hi" 12 hi;
+          check_int "attempted twice" 2 attempts;
+          check "underlying exn" true (exn = Invalid_argument "injected"))
+
+let test_pool_transient_failure_retried () =
+  (* Fails the first attempt of one chunk only; the retry must succeed and
+     the overall region complete with correct results. *)
+  let attempts = Array.init 32 (fun _ -> Atomic.make 0) in
+  let out = Array.make 32 0 in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Pool.parallel_for ~pool ~chunk:1 ~label:"transient" ~total:32
+        (fun ~worker:_ ~lo ~hi ->
+          for i = lo to hi - 1 do
+            if i = 13 && Atomic.fetch_and_add attempts.(i) 1 = 0 then
+              failwith "transient glitch";
+            out.(i) <- i * 3
+          done));
+  check "result correct" true (out = Array.init 32 (fun i -> i * 3));
+  check_int "failed chunk ran twice" 2 (Atomic.get attempts.(13))
+
+let test_pool_inline_jobs_one_retries_too () =
+  let tries = Atomic.make 0 in
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Pool.parallel_for ~pool ~total:4 (fun ~worker:_ ~lo ~hi:_ ->
+          if lo = 0 && Atomic.fetch_and_add tries 1 = 0 then failwith "once"))
+
+(* --- parser diagnostics --- *)
+
+let expect_error f =
+  match f () with
+  | _ -> Alcotest.fail "expected Reseed_error"
+  | exception Error.Reseed_error e -> e
+
+let test_bench_io_error_coordinates () =
+  let e =
+    expect_error (fun () ->
+        Bench_io.parse ~file:"x.bench" ~name:"x" "INPUT(a)\nOUTPUT(y)\ny = NOT(q)\n")
+  in
+  check "input code" true (e.Error.code = Error.Input_error);
+  check "file recorded" true (e.Error.file = Some "x.bench");
+  check "line of the bad reference" true (e.Error.line = Some 3);
+  let loop =
+    expect_error (fun () ->
+        Bench_io.parse ~name:"l" "INPUT(a)\nOUTPUT(y)\ny = NOT(z)\nz = NOT(y)\n")
+  in
+  check "loop has a line" true (loop.Error.line <> None);
+  let rendered = Error.to_string e in
+  check "rendered coordinates" true
+    (String.length rendered > String.length "x.bench:3:"
+    && String.sub rendered 0 10 = "x.bench:3:")
+
+let test_bench_io_bad_syntax_line () =
+  let e =
+    expect_error (fun () ->
+        Bench_io.parse ~name:"s" "INPUT(a)\nOUTPUT(y)\ny = NOT(a\n")
+  in
+  check_int "syntax error line"
+    3
+    (match e.Error.line with Some l -> l | None -> -1)
+
+let test_unknown_circuit_error () =
+  let e = expect_error (fun () -> Library.load "z9999") in
+  check "input code" true (e.Error.code = Error.Input_error);
+  check "names listed" true
+    (let m = e.Error.message in
+     let has_sub needle =
+       let nl = String.length needle and ml = String.length m in
+       let rec go i = i + nl <= ml && (String.sub m i nl = needle || go (i + 1)) in
+       go 0
+     in
+     has_sub "c432" && has_sub "z9999")
+
+let suite =
+  [
+    ( "resilience",
+      [
+        Alcotest.test_case "budget latch + precedence" `Quick test_budget_latch;
+        Alcotest.test_case "ilp: expired budget → incumbent" `Quick
+          test_ilp_expired_budget_returns_incumbent;
+        Alcotest.test_case "solution: degradation recorded" `Quick
+          test_solution_records_degradation;
+        Alcotest.test_case "ga: budget stops after first cohort" `Quick
+          test_ga_budget_stops_after_initial_cohort;
+        Alcotest.test_case "builder: cancelled budget skips rows" `Quick
+          test_builder_cancelled_budget_skips_all_rows;
+        Alcotest.test_case "flow: degraded result is sound" `Quick
+          test_flow_degraded_result_is_sound;
+        Alcotest.test_case "checkpoint: roundtrip bit-identical" `Quick
+          test_checkpoint_roundtrip_bit_identical;
+        Alcotest.test_case "checkpoint: truncated chunk re-simulated" `Quick
+          test_checkpoint_truncated_chunk_is_resimulated;
+        Alcotest.test_case "checkpoint: corrupt payload re-simulated" `Quick
+          test_checkpoint_corrupt_payload_is_resimulated;
+        Alcotest.test_case "checkpoint: fingerprint mismatch resets" `Quick
+          test_checkpoint_fingerprint_mismatch_resets;
+        Alcotest.test_case "checkpoint: interrupt + resume = uninterrupted" `Quick
+          test_checkpoint_interrupted_build_resumes_bit_identically;
+        Alcotest.test_case "pool: task error carries context" `Quick
+          test_pool_task_error_context;
+        Alcotest.test_case "pool: transient failure retried once" `Quick
+          test_pool_transient_failure_retried;
+        Alcotest.test_case "pool: inline path retries too" `Quick
+          test_pool_inline_jobs_one_retries_too;
+        Alcotest.test_case "bench_io: file:line diagnostics" `Quick
+          test_bench_io_error_coordinates;
+        Alcotest.test_case "bench_io: syntax error line" `Quick
+          test_bench_io_bad_syntax_line;
+        Alcotest.test_case "library: unknown circuit lists catalog" `Quick
+          test_unknown_circuit_error;
+      ] );
+  ]
