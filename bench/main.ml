@@ -116,6 +116,7 @@ let write_bench_json ~total_s () =
         s.rep_faults)
     (List.rev !stats_order);
   pr "\n  ],\n";
+  pr "  \"metrics\": %s,\n" (Metrics.to_json ());
   pr "  \"total_s\": %.3f" total_s;
   (* A previous run's summary (typically RESEED_ENGINE=event RESEED_JOBS=1)
      embeds verbatim so one file carries both sides of the comparison. *)
@@ -443,6 +444,17 @@ let run_micro () =
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* Observability mirrors the CLI's --trace/--metrics: at_exit writers
+     so even an aborted bench dumps what it recorded. *)
+  (match Sys.getenv_opt "RESEED_TRACE" with
+  | Some path when path <> "" ->
+      Trace.enable ();
+      at_exit (fun () -> try Trace.write_file path with Sys_error _ -> ())
+  | _ -> ());
+  (match Sys.getenv_opt "RESEED_METRICS" with
+  | Some path when path <> "" ->
+      at_exit (fun () -> try Metrics.write_file path with Sys_error _ -> ())
+  | _ -> ());
   let t0 = Unix.gettimeofday () in
   (match mode with
   | "table1" -> run_table1 ()

@@ -112,6 +112,26 @@ let jobs_arg =
 let checkpoint_arg =
   Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc:"Stream completed detection-matrix rows to $(docv) (crash-safe chunks) and resume from whatever valid rows it already holds.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Record phase spans and write a Chrome trace_event JSON to $(docv) (open in Perfetto or chrome://tracing).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Write the work-counter registry to $(docv) as JSON, or NDJSON if $(docv) ends in .ndjson.")
+
+(* The writers run from [at_exit] so interrupted (exit 130) and failed
+   runs still dump whatever was recorded; a write failure never masks
+   the run's own exit code. *)
+let setup_observability ~trace ~metrics =
+  Option.iter
+    (fun path ->
+      Trace.enable ();
+      at_exit (fun () -> try Trace.write_file path with Sys_error _ -> ()))
+    trace;
+  Option.iter
+    (fun path ->
+      at_exit (fun () -> try Metrics.write_file path with Sys_error _ -> ()))
+    metrics
+
 (* info *)
 
 let info_cmd =
@@ -151,8 +171,9 @@ let atpg_cmd =
   let engine_arg =
     Arg.(value & opt engine_conv Reseed_atpg.Atpg.Podem_engine & info [ "engine" ] ~docv:"E" ~doc:"Deterministic engine: $(b,podem) or $(b,sat).")
   in
-  let run name scale engine deadline =
+  let run name scale engine deadline trace metrics =
     guard @@ fun () ->
+    setup_observability ~trace ~metrics;
     let budget = budget_with_sigint deadline in
     let c = load_circuit name ~scale in
     Printf.printf "%s\n" (Circuit.stats_line c);
@@ -173,7 +194,9 @@ let atpg_cmd =
     exit_if_interrupted budget
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Run the deterministic ATPG on a circuit.")
-    Term.(const run $ circuit_arg $ scale_arg $ engine_arg $ deadline_arg)
+    Term.(
+      const run $ circuit_arg $ scale_arg $ engine_arg $ deadline_arg $ trace_arg
+      $ metrics_arg)
 
 (* solve *)
 
@@ -198,8 +221,10 @@ let solve_cmd =
   let objective_arg =
     Arg.(value & opt objective_conv Flow.Min_triplets & info [ "objective" ] ~docv:"O" ~doc:"$(b,triplets) (paper) or $(b,length) (weighted extension).")
   in
-  let run name scale tpg_kind cycles method_ verify objective deadline jobs checkpoint =
+  let run name scale tpg_kind cycles method_ verify objective deadline jobs checkpoint
+      trace metrics =
     guard @@ fun () ->
+    setup_observability ~trace ~metrics;
     let budget = budget_with_sigint deadline in
     with_jobs jobs @@ fun pool ->
     let c = load_circuit name ~scale in
@@ -252,15 +277,16 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Compute a minimal reseeding solution (set covering flow).")
     Term.(
       const run $ circuit_arg $ scale_arg $ tpg_arg $ cycles_arg $ method_arg $ verify_arg
-      $ objective_arg $ deadline_arg $ jobs_arg $ checkpoint_arg)
+      $ objective_arg $ deadline_arg $ jobs_arg $ checkpoint_arg $ trace_arg $ metrics_arg)
 
 (* gatsby *)
 
 let gatsby_cmd =
   let pop_arg = Arg.(value & opt int 12 & info [ "population" ] ~docv:"P") in
   let gens_arg = Arg.(value & opt int 6 & info [ "generations" ] ~docv:"G") in
-  let run name scale tpg_kind cycles seed pop gens deadline jobs =
+  let run name scale tpg_kind cycles seed pop gens deadline jobs trace metrics =
     guard @@ fun () ->
+    setup_observability ~trace ~metrics;
     let budget = budget_with_sigint deadline in
     with_jobs jobs @@ fun pool ->
     let c = load_circuit name ~scale in
@@ -292,7 +318,7 @@ let gatsby_cmd =
   Cmd.v (Cmd.info "gatsby" ~doc:"Run the GATSBY-style genetic baseline.")
     Term.(
       const run $ circuit_arg $ scale_arg $ tpg_arg $ cycles_arg $ seed_arg $ pop_arg
-      $ gens_arg $ deadline_arg $ jobs_arg)
+      $ gens_arg $ deadline_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* tradeoff *)
 
@@ -300,8 +326,9 @@ let tradeoff_cmd =
   let grid_arg =
     Arg.(value & opt (list int) [ 16; 64; 256; 1024 ] & info [ "grid" ] ~docv:"T1,T2,.." ~doc:"Evolution lengths to sweep (comma-separated integers).")
   in
-  let run name scale tpg_kind grid jobs =
+  let run name scale tpg_kind grid jobs trace metrics =
     guard @@ fun () ->
+    setup_observability ~trace ~metrics;
     if grid = [] then Error.fail Error.Usage "--grid needs at least one evolution length";
     List.iter
       (fun t -> if t < 1 then Error.fail Error.Usage "--grid: evolution length %d < 1" t)
@@ -314,7 +341,9 @@ let tradeoff_cmd =
     print_string (Tradeoff.render points)
   in
   Cmd.v (Cmd.info "tradeoff" ~doc:"Sweep evolution length T: reseedings vs test length.")
-    Term.(const run $ circuit_arg $ scale_arg $ tpg_arg $ grid_arg $ jobs_arg)
+    Term.(
+      const run $ circuit_arg $ scale_arg $ tpg_arg $ grid_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 (* fullscan *)
 

@@ -37,10 +37,21 @@ let fault_coverage sim r =
   let detectable = Fault_sim.fault_count sim - List.length r.untestable in
   Stats.pct (Bitvec.count r.detected) (max 1 detectable)
 
+let m_random = Metrics.counter ~help:"random ATPG patterns tried" "atpg_random_patterns"
+
+let m_decisions = Metrics.counter ~help:"PODEM PI decisions" "podem_decisions"
+
+let m_backtracks = Metrics.counter ~help:"PODEM backtracks" "podem_backtracks"
+
+let m_untestable = Metrics.counter ~help:"faults proved untestable" "atpg_untestable"
+
+let m_aborted = Metrics.counter ~help:"fault targets aborted" "atpg_aborted"
+
 let run ?(config = default_config) ?budget sim =
   let c = Fault_sim.circuit sim in
   let faults = Fault_sim.faults sim in
   let nf = Array.length faults in
+  Trace.with_span "atpg.run" ~args:[ ("faults", string_of_int nf) ] @@ fun () ->
   let rng = Rng.create config.seed in
   let detected = Bitvec.create nf in
   let tests = ref [] in
@@ -52,6 +63,7 @@ let run ?(config = default_config) ?budget sim =
   (* Phase 1: random patterns. *)
   let random_tried = ref 0 in
   if config.use_random_phase then begin
+    Trace.with_span "atpg.random_phase" @@ fun () ->
     let r =
       Random_gen.run ?budget sim ~rng ~max_patterns:config.max_random_patterns ()
     in
@@ -59,6 +71,7 @@ let run ?(config = default_config) ?budget sim =
     Bitvec.union_into ~into:detected r.Random_gen.detected;
     random_tried := r.Random_gen.patterns_tried
   end;
+  Metrics.add m_random !random_tried;
   (* Phase 2: PODEM per surviving fault, with collateral dropping. *)
   let podem_stats = Podem.new_stats () in
   let testability = Testability.compute c in
@@ -77,29 +90,35 @@ let run ?(config = default_config) ?budget sim =
   (* An expired budget stops issuing deterministic generation: surviving
      faults are classified [aborted] (a budget casualty, like a PODEM
      backtrack limit), so the partial test set stays a sound result. *)
-  for fi = 0 to nf - 1 do
-    if not (Bitvec.get detected fi) then begin
-      if Budget.check budget then aborted := fi :: !aborted
-      else
-        match deterministic_generate faults.(fi) with
-        | Podem.Test pattern ->
-            let active = Bitvec.create nf in
-            Bitvec.fill_all active;
-            Bitvec.diff_into ~into:active detected;
-            let newly = Fault_sim.detected_set sim [| pattern |] ~active in
-            Bitvec.union_into ~into:detected newly;
-            push_tests [| pattern |]
-        | Podem.Untestable -> untestable := fi :: !untestable
-        | Podem.Aborted -> aborted := fi :: !aborted
-    end
-  done;
+  (Trace.with_span "atpg.deterministic_phase" @@ fun () ->
+   for fi = 0 to nf - 1 do
+     if not (Bitvec.get detected fi) then begin
+       if Budget.check budget then aborted := fi :: !aborted
+       else
+         match deterministic_generate faults.(fi) with
+         | Podem.Test pattern ->
+             let active = Bitvec.create nf in
+             Bitvec.fill_all active;
+             Bitvec.diff_into ~into:active detected;
+             let newly = Fault_sim.detected_set sim [| pattern |] ~active in
+             Bitvec.union_into ~into:detected newly;
+             push_tests [| pattern |]
+         | Podem.Untestable -> untestable := fi :: !untestable
+         | Podem.Aborted -> aborted := fi :: !aborted
+     end
+   done);
   let tests_arr = Array.of_list (List.rev !tests) in
   (* Phase 3: compaction — skipped on expiry (it only shrinks the set). *)
   let tests_arr, dropped =
     if config.compaction && not (Budget.check budget) then
+      Trace.with_span "atpg.compaction" @@ fun () ->
       Compact.reverse_order sim tests_arr
     else (tests_arr, 0)
   in
+  Metrics.add m_decisions podem_stats.Podem.decisions;
+  Metrics.add m_backtracks podem_stats.Podem.backtracks;
+  Metrics.add m_untestable (List.length !untestable);
+  Metrics.add m_aborted (List.length !aborted);
   {
     tests = tests_arr;
     detected;

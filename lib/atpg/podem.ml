@@ -15,6 +15,7 @@ type status = Detected | Possible | Blocked
 type decision = { pi : int; mutable value : bool; mutable alt_tried : bool }
 
 let generate c fault ~rng ?(max_backtracks = 2000) ?budget ?testability ?stats () =
+  Trace.with_span "podem.generate" @@ fun () ->
   let stats = match stats with Some s -> s | None -> new_stats () in
   let tb = match testability with Some t -> t | None -> Testability.compute c in
   let n_pi = Circuit.input_count c in

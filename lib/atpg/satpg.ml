@@ -65,6 +65,7 @@ let emit_gate solver ~fresh y kind args =
       end
 
 let generate c fault ?(max_conflicts = 200_000) () =
+  Trace.with_span "satpg.generate" @@ fun () ->
   let n = Circuit.node_count c in
   let site = Fault.site_node fault in
   let cone = Circuit.fanout_cone c site in

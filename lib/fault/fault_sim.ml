@@ -424,7 +424,29 @@ let iter_blocks ?budget ?(stop = fun () -> false) t patterns f =
     base := !base + len
   done
 
+(* Engine-level metrics.  Hot loops keep bumping the private per-shard
+   [sims]/[props] fields (zero contention, bit-identical behaviour); each
+   public sweep publishes its delta to the shared registry on the way
+   out, exceptions included, so interrupted runs still report work done. *)
+let m_sims =
+  Metrics.counter ~help:"single-fault simulations performed" "fault_sims"
+
+let m_props =
+  Metrics.counter ~help:"event-driven difference propagations" "event_propagations"
+
+let with_sweep name t patterns f =
+  Trace.with_span name
+    ~args:[ ("patterns", string_of_int (Array.length patterns)) ]
+  @@ fun () ->
+  let sims0 = t.sims and props0 = t.props in
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.add m_sims (t.sims - sims0);
+      Metrics.add m_props (t.props - props0))
+    f
+
 let detection_map ?budget t patterns =
+  with_sweep "fault_sim.detection_map" t patterns @@ fun () ->
   let total = Array.length patterns in
   let result = Array.init (fault_count t) (fun _ -> Bitvec.create total) in
   iter_blocks ?budget t patterns (fun ~base ~good ~mask ->
@@ -442,6 +464,7 @@ let detection_map ?budget t patterns =
 let detected_set ?budget t patterns ~active =
   if Bitvec.length active <> fault_count t then
     invalid_arg "Fault_sim.detected_set: active mask size mismatch";
+  with_sweep "fault_sim.detected_set" t patterns @@ fun () ->
   let detected = Bitvec.create (fault_count t) in
   let remaining = ref (Bitvec.count active) in
   iter_blocks ?budget ~stop:(fun () -> !remaining = 0) t patterns
@@ -458,6 +481,7 @@ let detected_set ?budget t patterns ~active =
   detected
 
 let first_detections ?budget t ?active patterns =
+  with_sweep "fault_sim.first_detections" t patterns @@ fun () ->
   let result = Array.make (fault_count t) None in
   let live fi = match active with None -> true | Some a -> Bitvec.get a fi in
   let remaining =

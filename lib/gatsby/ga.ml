@@ -33,9 +33,22 @@ type 'a outcome = {
   stopped_early : bool;
 }
 
+let m_generations =
+  Metrics.counter ~help:"GA generations evolved" "ga_generations"
+
+let m_evaluations =
+  Metrics.counter ~help:"GA fitness evaluations" "ga_evaluations"
+
 let optimize ?(config = default_config) ?eval_batch ?budget ~rng problem =
   if config.population < 2 then invalid_arg "Ga.optimize: population must be >= 2";
   if config.elite >= config.population then invalid_arg "Ga.optimize: elite too large";
+  Trace.with_span "ga.optimize"
+    ~args:
+      [
+        ("population", string_of_int config.population);
+        ("generations", string_of_int config.generations);
+      ]
+  @@ fun () ->
   let evaluations = ref 0 in
   (* Genome creation (the only RNG consumer) stays sequential; fitness
      evaluation happens in whole-cohort batches so a caller-supplied
@@ -70,6 +83,7 @@ let optimize ?(config = default_config) ?eval_batch ?budget ~rng problem =
   let gen = ref 0 in
   while !gen < config.generations && not (Budget.check budget) do
     incr gen;
+    Trace.with_span "ga.generation" @@ fun () ->
     let n_children = config.population - config.elite in
     let children =
       Array.init n_children (fun _ ->
@@ -97,6 +111,8 @@ let optimize ?(config = default_config) ?eval_batch ?budget ~rng problem =
       best_fitness := snd scored.(0)
     end
   done;
+  Metrics.add m_generations !gen;
+  Metrics.add m_evaluations !evaluations;
   {
     best = !best;
     best_fitness = !best_fitness;

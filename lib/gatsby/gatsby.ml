@@ -63,9 +63,15 @@ let genome_problem ~width ~fitness =
         else { g with g_operand = flip_bits rng g.g_operand });
   }
 
+let m_rounds = Metrics.counter ~help:"GATSBY reseeding rounds" "gatsby_rounds"
+
+let m_committed =
+  Metrics.counter ~help:"GATSBY triplets committed" "gatsby_triplets"
+
 let run ?(config = default_config) ?pool ?budget sim tpg ~rng ~targets =
   let nf = Fault_sim.fault_count sim in
   if Bitvec.length targets <> nf then invalid_arg "Gatsby.run: target mask size";
+  Trace.with_span "gatsby.run" ~args:[ ("tpg", tpg.Tpg.name) ] @@ fun () ->
   let width = tpg.Tpg.width in
   let active = Bitvec.copy targets in
   let detected = Bitvec.create nf in
@@ -100,6 +106,7 @@ let run ?(config = default_config) ?pool ?budget sim tpg ~rng ~targets =
   while !go && !rounds < config.max_rounds && coverage () < config.target_coverage
         && not (Budget.check budget) do
     incr rounds;
+    Trace.with_span "gatsby.round" @@ fun () ->
     let fitness g =
       float_of_int (Fault_sim.count_new_detections sim (burst g) ~active)
     in
@@ -136,6 +143,8 @@ let run ?(config = default_config) ?pool ?budget sim tpg ~rng ~targets =
     end
   done;
   Fault_sim.merge_sims ~into:sim shard;
+  Metrics.add m_rounds !rounds;
+  Metrics.add m_committed (List.length !triplets);
   {
     triplets = List.rev !triplets;
     detected;

@@ -23,9 +23,22 @@ let operand_tag = function
   | Random_operand -> "random"
   | Shared_operand w -> "shared:" ^ Word.to_hex w
 
+let m_rows_computed =
+  Metrics.counter ~help:"detection-matrix rows fault-simulated" "builder_rows_computed"
+
+let m_ck_hits =
+  Metrics.counter ~help:"rows restored from a checkpoint" "builder_checkpoint_hits"
+
+let m_rows_skipped =
+  Metrics.counter ~help:"rows abandoned to an expired budget" "builder_rows_skipped"
+
 let build ?pool ?budget ?checkpoint sim tpg ~tests ~targets ~config =
   let nf = Fault_sim.fault_count sim in
   if Bitvec.length targets <> nf then invalid_arg "Builder.build: target mask size";
+  Trace.with_span "builder.build"
+    ~args:
+      [ ("rows", string_of_int (Array.length tests)); ("faults", string_of_int nf) ]
+  @@ fun () ->
   let width = tpg.Tpg.width in
   let rng = Rng.create config.seed in
   let operand_for _i =
@@ -98,6 +111,9 @@ let build ?pool ?budget ?checkpoint sim tpg ~tests ~targets ~config =
       if not completed.(i) then missing := true
     done;
     if !missing && not (Budget.check budget) then begin
+      Trace.with_span "builder.chunk"
+        ~args:[ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+      @@ fun () ->
       Pool.parallel_for ~pool ~chunk:1 ~label:"detection-matrix rows"
         ~total:(hi - lo) (fun ~worker ~lo:tlo ~hi:thi ->
           let s = shard.(worker) in
@@ -141,6 +157,9 @@ let build ?pool ?budget ?checkpoint sim tpg ~tests ~targets ~config =
   Fault_sim.merge_sims ~into:sim shard;
   let skipped = ref 0 in
   Array.iter (fun d -> if not d then incr skipped) completed;
+  Metrics.add m_rows_computed (n - !restored - !skipped);
+  Metrics.add m_ck_hits !restored;
+  Metrics.add m_rows_skipped !skipped;
   let matrix = Matrix.of_rows ~cols:nf rows in
   {
     triplets;

@@ -132,9 +132,13 @@ let row_bytes t = (t.cols + 7) / 8
 
 let chunk_name lo hi = Printf.sprintf "chunk-%06d-%06d.ck" lo hi
 
+let m_chunks =
+  Metrics.counter ~help:"checkpoint chunk files written" "checkpoint_chunks_written"
+
 let store t ~lo ~hi ~useful ~row =
   if not (0 <= lo && lo < hi && hi <= t.rows) then
     invalid_arg "Checkpoint.store: row range";
+  Metrics.incr m_chunks;
   let payload = Buffer.create ((hi - lo) * (4 + row_bytes t)) in
   for i = lo to hi - 1 do
     add_u32 payload (useful i);

@@ -38,7 +38,10 @@ type result = {
           detected no fault the earlier triplets missed — 0 for a minimal
           cover, possibly positive for a degraded (incumbent/greedy) one *)
   test_length : int;  (** Σ truncated burst lengths *)
-  uniform_test_length : int;  (** |N| × max burst length (uniform-T mode) *)
+  uniform_test_length : int;
+      (** |selected| × max configured burst length (uniform-T mode):
+          every selected triplet at its full pre-truncation T, dropped
+          rows included *)
   coverage_pct : float;
       (** over the target list F — 100 by construction unless the run was
           [degraded], in which case it honestly reports what the partial

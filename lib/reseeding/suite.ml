@@ -15,7 +15,13 @@ type prepared = {
 }
 
 let prepare_circuit ?atpg_config ?sim_engine ?(collapse = false) ?budget circuit =
-  let classes = if collapse then Some (Collapse.compute circuit) else None in
+  Trace.with_span "suite.prepare" ~args:[ ("circuit", Circuit.name circuit) ]
+  @@ fun () ->
+  let classes =
+    if collapse then
+      Some (Trace.with_span "collapse.compute" @@ fun () -> Collapse.compute circuit)
+    else None
+  in
   let faults = Option.map Collapse.reps classes in
   let sim, atpg =
     Atpg.run_circuit ?config:atpg_config ?sim_engine ?faults ?budget circuit

@@ -9,6 +9,9 @@ let sweep ?(flow_config = Flow.default_config) ?pool sim tpg ~tests ~targets ~gr
     (fun cycles ->
       if cycles < 1 then invalid_arg "Tradeoff.sweep: cycles must be >= 1")
     grid;
+  Trace.with_span "tradeoff.sweep"
+    ~args:[ ("points", string_of_int (Array.length grid)) ]
+  @@ fun () ->
   (* Grid points are independent flows, so they run in parallel, each on
      the executing worker's simulator shard.  A nested Builder.build then
      degrades to its sequential path (the pool is busy), which keeps every
@@ -21,6 +24,9 @@ let sweep ?(flow_config = Flow.default_config) ?pool sim tpg ~tests ~targets ~gr
       let s = shard.(worker) in
       for i = lo to hi - 1 do
         let cycles = grid.(i) in
+        Trace.with_span "tradeoff.point"
+          ~args:[ ("cycles", string_of_int cycles) ]
+        @@ fun () ->
         let config =
           { flow_config with Flow.builder = { flow_config.Flow.builder with Builder.cycles } }
         in

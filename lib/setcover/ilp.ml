@@ -13,9 +13,18 @@ type result = {
   optimal : bool;
   nodes_explored : int;
   stop_reason : stop_reason;
+  uncovered : int list;
 }
 
 let epsilon = 1e-9
+
+let m_nodes = Metrics.counter ~help:"ILP branch-and-bound nodes" "nodes_explored"
+
+let m_incumbents =
+  Metrics.counter ~help:"ILP incumbent improvements" "ilp_incumbent_updates"
+
+let m_prunes =
+  Metrics.counter ~help:"ILP subtrees cut by the lower bound" "ilp_bound_prunes"
 
 (* Wall-clock polls are throttled to once per [budget_stride] nodes: a
    search node costs well under a microsecond, so the deadline is honoured
@@ -24,6 +33,9 @@ let budget_stride = 4096
 
 let solve ?weights ?(node_limit = 2_000_000) ?budget m =
   let n_rows = Matrix.rows m and n_cols = Matrix.cols m in
+  Trace.with_span "ilp.solve"
+    ~args:[ ("rows", string_of_int n_rows); ("cols", string_of_int n_cols) ]
+  @@ fun () ->
   let weights =
     match weights with
     | None -> Array.make n_rows 1.0
@@ -32,10 +44,15 @@ let solve ?weights ?(node_limit = 2_000_000) ?budget m =
         Array.iter (fun x -> if x <= 0. then invalid_arg "Ilp.solve: weights must be > 0") w;
         w
   in
+  (* Columns no row covers are unreachable for any selection.  Solve the
+     coverable sub-instance and report the dead columns instead of
+     raising: on an unreduced matrix with undetectable faults the exact
+     method then degrades exactly like {!Greedy.solve}, which has always
+     skipped them. *)
   let all_need = Bitvec.create n_cols in
-  for j = 0 to n_cols - 1 do
-    if Bitvec.is_empty (Matrix.col m j) then
-      invalid_arg "Ilp.solve: infeasible (uncoverable column)"
+  let uncovered = ref [] in
+  for j = n_cols - 1 downto 0 do
+    if Bitvec.is_empty (Matrix.col m j) then uncovered := j :: !uncovered
     else Bitvec.set all_need j
   done;
   (* Incumbent: greedy upper bound — also the anytime fallback returned
@@ -46,6 +63,7 @@ let solve ?weights ?(node_limit = 2_000_000) ?budget m =
     ref (List.fold_left (fun acc i -> acc +. weights.(i)) 0. greedy_rows)
   in
   let nodes = ref 0 in
+  let incumbents = ref 0 and prunes = ref 0 in
   let stop = ref None in
   let out_of_budget () = !stop <> None in
   let note_budget () =
@@ -87,11 +105,13 @@ let solve ?weights ?(node_limit = 2_000_000) ?budget m =
       else if out_of_budget () then ()
       else if Bitvec.is_empty need then begin
         if cost < !best_cost -. epsilon then begin
+          incr incumbents;
           best_cost := cost;
           best_set := chosen
         end
       end
-      else if cost +. lower_bound need < !best_cost -. epsilon then begin
+      else if cost +. lower_bound need >= !best_cost -. epsilon then incr prunes
+      else begin
         (* Branch on the hardest column: fewest covering rows. *)
         let pick = ref (-1) and pick_count = ref max_int in
         Bitvec.iter_ones
@@ -130,10 +150,14 @@ let solve ?weights ?(node_limit = 2_000_000) ?budget m =
       (match Budget.stop_reason b with Some r -> stop := Some (Budget r) | None -> ())
   | _ -> ());
   branch all_need [] 0.;
+  Metrics.add m_nodes !nodes;
+  Metrics.add m_incumbents !incumbents;
+  Metrics.add m_prunes !prunes;
   {
     selected = List.sort compare !best_set;
     cost = !best_cost;
     optimal = !stop = None;
     nodes_explored = !nodes;
     stop_reason = (match !stop with None -> Complete | Some r -> r);
+    uncovered = !uncovered;
   }

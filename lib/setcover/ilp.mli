@@ -27,18 +27,26 @@ type stop_reason =
 val stop_reason_name : stop_reason -> string
 
 type result = {
-  selected : int list;  (** chosen row indices, ascending — a valid cover *)
+  selected : int list;
+      (** chosen row indices, ascending — a valid cover of every
+          coverable column *)
   cost : float;
   optimal : bool;  (** [stop_reason = Complete] *)
   nodes_explored : int;
   stop_reason : stop_reason;
+  uncovered : int list;
+      (** columns no row covers, ascending — unreachable for any
+          selection (undetectable faults on an unreduced matrix).  The
+          solve covered everything else; [[]] on a feasible instance. *)
 }
 
 (** [solve ?weights ?node_limit ?budget m] — [weights] defaults to
     all-ones (cardinality minimisation); [node_limit] defaults to
     2_000_000; [budget] bounds wall-clock time (polled every few thousand
     nodes; an already-expired budget returns the greedy incumbent without
-    branching).  Raises [Invalid_argument] if some column is coverable by
-    no row (infeasible) — reduce first, or check {!Matrix.uncoverable}. *)
+    branching).  Columns coverable by no row are excluded from the
+    instance and reported in [uncovered] — the same silent degradation
+    {!Greedy.solve} applies — so the exact path never crashes mid-flow on
+    a matrix that still carries undetectable faults. *)
 val solve :
   ?weights:float array -> ?node_limit:int -> ?budget:Budget.t -> Matrix.t -> result

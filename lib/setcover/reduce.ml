@@ -18,8 +18,26 @@ type result = {
    and row dominance will usually shrink the instance below it). *)
 let col_dominance_limit = 6000
 
+let m_iterations =
+  Metrics.counter ~help:"reduction fixpoint iterations" "reduce_iterations"
+
+let m_essential =
+  Metrics.counter ~help:"rows selected as essential" "reduce_essential_rows"
+
+let m_rows_dom =
+  Metrics.counter ~help:"rows dropped by row dominance" "reduce_rows_dominated"
+
+let m_cols_dedup =
+  Metrics.counter ~help:"columns dropped as duplicates" "reduce_cols_deduped"
+
+let m_cols_dom =
+  Metrics.counter ~help:"columns dropped by column dominance" "reduce_cols_dominated"
+
 let run ?(config = default_config) ?row_weights m =
   let n_rows = Matrix.rows m and n_cols = Matrix.cols m in
+  Trace.with_span "reduce.run"
+    ~args:[ ("rows", string_of_int n_rows); ("cols", string_of_int n_cols) ]
+  @@ fun () ->
   (match row_weights with
   | Some w when Array.length w <> n_rows ->
       invalid_arg "Reduce.run: row_weights size mismatch"
@@ -52,6 +70,7 @@ let run ?(config = default_config) ?row_weights m =
     (Matrix.uncoverable m);
   let necessary = ref [] in
   let rows_dominated = ref 0 and cols_dominated = ref 0 in
+  let cols_deduped = ref 0 in
   let drop_row i =
     row_active.(i) <- false;
     Bitvec.clear row_mask i
@@ -66,6 +85,7 @@ let run ?(config = default_config) ?row_weights m =
     Bitvec.iter_ones (fun j -> if col_active.(j) then drop_col j) (Matrix.row m i)
   in
   let pass_essentials () =
+    Trace.with_span "reduce.essentials" @@ fun () ->
     let changed = ref false in
     for j = 0 to n_cols - 1 do
       if col_active.(j) then begin
@@ -98,6 +118,7 @@ let run ?(config = default_config) ?row_weights m =
     !acc
   in
   let pass_row_dominance () =
+    Trace.with_span "reduce.row_dominance" @@ fun () ->
     let changed = ref false in
     let rows = Array.of_list (active_rows ()) in
     let counts =
@@ -130,6 +151,7 @@ let run ?(config = default_config) ?row_weights m =
      row.  Deduplicate them in one linear hash pass so the quadratic
      dominance pass only sees distinct columns. *)
   let pass_col_dedup () =
+    Trace.with_span "reduce.col_dedup" @@ fun () ->
     let seen = Hashtbl.create 1024 in
     let changed = ref false in
     for j = 0 to n_cols - 1 do
@@ -141,7 +163,7 @@ let run ?(config = default_config) ?row_weights m =
         in
         if Hashtbl.mem seen key then begin
           drop_col j;
-          incr cols_dominated;
+          incr cols_deduped;
           changed := true
         end
         else Hashtbl.add seen key ()
@@ -150,6 +172,7 @@ let run ?(config = default_config) ?row_weights m =
     !changed
   in
   let pass_col_dominance () =
+    Trace.with_span "reduce.col_dominance" @@ fun () ->
     let cols = Array.of_list (active_cols ()) in
     let n = Array.length cols in
     if n > col_dominance_limit then false
@@ -201,13 +224,20 @@ let run ?(config = default_config) ?row_weights m =
     (fun i ->
       if Bitvec.count_inter (Matrix.row m i) col_mask = 0 then drop_row i)
     (active_rows ());
+  Metrics.add m_iterations !iterations;
+  Metrics.add m_essential (List.length !necessary);
+  Metrics.add m_rows_dom !rows_dominated;
+  Metrics.add m_cols_dedup !cols_deduped;
+  Metrics.add m_cols_dom !cols_dominated;
   {
     necessary = List.rev !necessary;
     remaining_rows = active_rows ();
     remaining_cols = active_cols ();
     iterations = !iterations;
     rows_dominated = !rows_dominated;
-    cols_dominated = !cols_dominated;
+    (* Duplicate and dominated columns have always been reported together
+       in this field; the metrics registry splits them. *)
+    cols_dominated = !cols_deduped + !cols_dominated;
   }
 
 let residual m result =

@@ -26,30 +26,19 @@ let is_degraded method_ stop =
   | (Exact | No_reduction_exact), Ilp.Complete -> false
   | (Exact | No_reduction_exact), _ -> true
 
+let method_name = function
+  | Exact -> "exact"
+  | Greedy_only -> "greedy"
+  | No_reduction_exact -> "noreduce"
+
 let solve ?(method_ = Exact) ?reduce_config ?row_weights ?budget m =
+  Reseed_util.Trace.with_span "solution.solve"
+    ~args:[ ("method", method_name method_) ]
+  @@ fun () ->
   match method_ with
   | No_reduction_exact ->
-      (* Uncoverable columns are unreachable for any solution: mask them
-         off before handing the instance to the strict ILP solver. *)
-      let m =
-        match Matrix.uncoverable m with
-        | [] -> m
-        | dead ->
-            let dead = List.sort_uniq compare dead in
-            let keep =
-              List.filter
-                (fun j -> not (List.mem j dead))
-                (List.init (Matrix.cols m) Fun.id)
-            in
-            let sub = Matrix.create ~rows:(Matrix.rows m) ~cols:(List.length keep) in
-            List.iteri
-              (fun j' j ->
-                Reseed_util.Bitvec.iter_ones
-                  (fun i -> Matrix.set sub ~row:i ~col:j')
-                  (Matrix.col m j))
-              keep;
-            sub
-      in
+      (* Ilp.solve itself excludes uncoverable columns and reports them,
+         so the unreduced matrix goes to the solver as-is. *)
       let r = Ilp.solve ?weights:row_weights ?budget m in
       {
         rows = r.Ilp.selected;

@@ -24,8 +24,17 @@ let multi_polynomial width =
   Tpg.make ~name:"mp-lfsr" ~width (fun ~state ~operand ->
       shift_in state (masked_parity state operand))
 
-(* Tap tables for primitive polynomials at common widths (Xilinx XAPP052
-   convention, converted to 0-based bit positions). *)
+let m_fallback =
+  Metrics.counter
+    ~help:"LFSR widths served non-primitive fallback taps" "lfsr_fallback_taps"
+
+(* Tap tables for primitive polynomials, all widths 2..64 (Xilinx
+   XAPP052 convention, converted to 0-based bit positions).  Every
+   circuit in {!Library.catalog} with <= 64 inputs gets a
+   maximal-period register; wider PI counts fall back to the
+   non-primitive [x^width + x + 1] taps, flagged in the metrics
+   registry so short LFSR orbits are visible instead of silently
+   shrinking the reachable pattern space. *)
 let default_taps width =
   match width with
   | 2 -> [ 1; 0 ]
@@ -35,8 +44,65 @@ let default_taps width =
   | 6 -> [ 5; 4 ]
   | 7 -> [ 6; 5 ]
   | 8 -> [ 7; 5; 4; 3 ]
+  | 9 -> [ 8; 4 ]
+  | 10 -> [ 9; 6 ]
+  | 11 -> [ 10; 8 ]
+  | 12 -> [ 11; 5; 3; 0 ]
+  | 13 -> [ 12; 3; 2; 0 ]
+  | 14 -> [ 13; 4; 2; 0 ]
+  | 15 -> [ 14; 13 ]
   | 16 -> [ 15; 14; 12; 3 ]
+  | 17 -> [ 16; 13 ]
+  | 18 -> [ 17; 10 ]
+  | 19 -> [ 18; 5; 1; 0 ]
+  | 20 -> [ 19; 16 ]
+  | 21 -> [ 20; 18 ]
+  | 22 -> [ 21; 20 ]
+  | 23 -> [ 22; 17 ]
   | 24 -> [ 23; 22; 21; 16 ]
+  | 25 -> [ 24; 21 ]
+  | 26 -> [ 25; 5; 1; 0 ]
+  | 27 -> [ 26; 4; 1; 0 ]
+  | 28 -> [ 27; 24 ]
+  | 29 -> [ 28; 26 ]
+  | 30 -> [ 29; 5; 3; 0 ]
+  | 31 -> [ 30; 27 ]
   | 32 -> [ 31; 21; 1; 0 ]
-  | _ when width >= 2 -> [ width - 1; 0 ]
+  | 33 -> [ 32; 19 ]
+  | 34 -> [ 33; 26; 1; 0 ]
+  | 35 -> [ 34; 32 ]
+  | 36 -> [ 35; 24 ]
+  | 37 -> [ 36; 4; 3; 2; 1; 0 ]
+  | 38 -> [ 37; 5; 4; 0 ]
+  | 39 -> [ 38; 34 ]
+  | 40 -> [ 39; 37; 20; 18 ]
+  | 41 -> [ 40; 37 ]
+  | 42 -> [ 41; 40; 19; 18 ]
+  | 43 -> [ 42; 41; 37; 36 ]
+  | 44 -> [ 43; 42; 17; 16 ]
+  | 45 -> [ 44; 43; 41; 40 ]
+  | 46 -> [ 45; 44; 25; 24 ]
+  | 47 -> [ 46; 41 ]
+  | 48 -> [ 47; 46; 20; 19 ]
+  | 49 -> [ 48; 39 ]
+  | 50 -> [ 49; 48; 23; 22 ]
+  | 51 -> [ 50; 49; 35; 34 ]
+  | 52 -> [ 51; 48 ]
+  | 53 -> [ 52; 51; 37; 36 ]
+  | 54 -> [ 53; 52; 17; 16 ]
+  | 55 -> [ 54; 30 ]
+  | 56 -> [ 55; 54; 34; 33 ]
+  | 57 -> [ 56; 49 ]
+  | 58 -> [ 57; 38 ]
+  | 59 -> [ 58; 57; 37; 36 ]
+  | 60 -> [ 59; 58 ]
+  | 61 -> [ 60; 59; 45; 44 ]
+  | 62 -> [ 61; 60; 5; 4 ]
+  | 63 -> [ 62; 61 ]
+  | 64 -> [ 63; 62; 60; 59 ]
+  | _ when width >= 2 ->
+      Metrics.incr m_fallback;
+      Trace.instant "lfsr.fallback_taps"
+        ~args:[ ("width", string_of_int width) ];
+      [ width - 1; 0 ]
   | _ -> invalid_arg "Lfsr.default_taps: width must be >= 2"

@@ -20,6 +20,10 @@ val fibonacci : int -> int list -> Tpg.t
     of sequences. *)
 val multi_polynomial : int -> Tpg.t
 
-(** [default_taps width] is a tap set giving a long (often maximal)
-    period for common widths; falls back to [[width-1; 0]] otherwise. *)
+(** [default_taps width] is a primitive-polynomial tap set (maximal
+    period 2^width - 1) for every width in 2..64, covering all library
+    circuits with at most 64 inputs.  Wider registers fall back to the
+    non-primitive [[width-1; 0]] taps; each fallback bumps the
+    [lfsr_fallback_taps] metric and drops a trace instant so the short
+    orbit is visible. *)
 val default_taps : int -> int list

@@ -15,9 +15,12 @@ let truncate t cycles =
   { t with cycles }
 
 let storage_bits t =
+  (* A T-cycle burst needs a counter with T distinct states, i.e.
+     ceil(log2 T) bits — floor(log2 T) + 1 overcounts by one whenever T
+     is a power of two.  At least one bit even for T = 1. *)
   let counter_bits =
-    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
-    bits t.cycles 0
+    let rec go n acc = if n <= 1 then acc else go ((n + 1) / 2) (acc + 1) in
+    max 1 (go t.cycles 0)
   in
   Word.width t.seed + Word.width t.operand + counter_bits
 

@@ -22,7 +22,7 @@ val patterns : Tpg.t -> t -> bool array array
 val truncate : t -> int -> t
 
 (** [storage_bits t] is the ROM cost of the triplet: |δ| + |σ| plus the
-    bits of the cycle counter. *)
+    ceil(log2 T) bits (at least one) of the cycle counter. *)
 val storage_bits : t -> int
 
 val equal : t -> t -> bool

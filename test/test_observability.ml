@@ -1,0 +1,267 @@
+(* Tracing/metrics layer: span nesting and cross-domain merge, the
+   near-zero disabled path, metrics registry round-trips, and regression
+   tests for the covering-solver consistency fixes that shipped with the
+   observability work. *)
+
+open Reseed_netlist
+open Reseed_setcover
+open Reseed_tpg
+open Reseed_core
+open Reseed_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --- Trace ------------------------------------------------------------ *)
+
+(* The tracer is process-global: serialise every test that touches it
+   behind a fresh reset/disable bracket. *)
+let with_tracer f =
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect ~finally:(fun () -> Trace.disable ()) f
+
+let test_span_nesting () =
+  with_tracer @@ fun () ->
+  let r =
+    Trace.with_span "outer" (fun () ->
+        Trace.with_span "inner-a" (fun () -> ());
+        Trace.with_span "inner-b" ~args:[ ("k", "v") ] (fun () -> 41 + 1))
+  in
+  check_int "body result" 42 r;
+  match Trace.events () with
+  | [ outer; a; b ] ->
+      check "order: parent first" true
+        (outer.Trace.name = "outer" && a.Trace.name = "inner-a"
+        && b.Trace.name = "inner-b");
+      check "parent starts first" true (outer.Trace.ts_ns <= a.Trace.ts_ns);
+      check "children ordered" true (a.Trace.ts_ns <= b.Trace.ts_ns);
+      check "parent encloses children" true
+        (Int64.add outer.Trace.ts_ns outer.Trace.dur_ns
+        >= Int64.add b.Trace.ts_ns b.Trace.dur_ns);
+      check "args kept" true (b.Trace.args = [ ("k", "v") ])
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs)
+
+let test_span_exception_recorded () =
+  with_tracer @@ fun () ->
+  (try Trace.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  check "span recorded on exception" true (Trace.span_names () = [ "boom" ])
+
+let test_instant () =
+  with_tracer @@ fun () ->
+  Trace.instant "marker" ~args:[ ("width", "100") ];
+  match Trace.events () with
+  | [ e ] ->
+      check "instant phase" true (e.Trace.ph = 'i');
+      check "zero duration" true (e.Trace.dur_ns = 0L)
+  | _ -> Alcotest.fail "expected exactly one event"
+
+(* Worker-domain spans land in per-domain buffers and merge at export:
+   the multiset of span names must not depend on the job count. *)
+let names_at_jobs jobs =
+  with_tracer @@ fun () ->
+  Pool.with_pool ~jobs (fun pool ->
+      Pool.parallel_for ~pool ~chunk:1 ~total:16 (fun ~worker:_ ~lo ~hi ->
+          for i = lo to hi - 1 do
+            Trace.with_span (Printf.sprintf "job-%02d" i) (fun () -> ())
+          done));
+  List.sort compare (Trace.span_names ())
+
+let test_merge_determinism () =
+  let seq = names_at_jobs 1 in
+  check_int "16 spans at jobs=1" 16 (List.length seq);
+  check "jobs=1 = jobs=4" true (seq = names_at_jobs 4);
+  check "jobs=1 = jobs=3" true (seq = names_at_jobs 3)
+
+let test_disabled_zero_alloc () =
+  Trace.disable ();
+  let f = Fun.id in
+  (* Warm up so the closure and any lazy setup are allocated. *)
+  for _ = 1 to 100 do
+    Trace.with_span "off" f
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Trace.with_span "off" f
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* One word of slack per 100 iterations covers harness noise; a clock
+     read or event allocation per span would cost thousands. *)
+  check "disabled span allocates nothing" true (allocated < 100.0)
+
+let test_chrome_json_shape () =
+  with_tracer @@ fun () ->
+  Trace.with_span "a\"b" ~args:[ ("n", "1") ] (fun () -> ());
+  let json = Trace.to_json () in
+  let has s = contains json s in
+  check "traceEvents key" true (has "\"traceEvents\"");
+  check "escaped name" true (has "\"a\\\"b\"");
+  check "complete phase" true (has "\"ph\":\"X\"");
+  check "args object" true (has "\"args\":{\"n\":\"1\"}")
+
+(* --- Metrics ---------------------------------------------------------- *)
+
+let test_metrics_roundtrip () =
+  let c = Metrics.counter ~help:"test counter" "obs_test_counter" in
+  let g = Metrics.gauge "obs_test_gauge" in
+  let base = Metrics.value c in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Metrics.set g 2.5;
+  check_int "counter accumulates" (base + 42) (Metrics.value c);
+  check "gauge holds" true (Metrics.gauge_value g = 2.5);
+  (* Registration is idempotent: same name, same cell. *)
+  let c' = Metrics.counter "obs_test_counter" in
+  Metrics.incr c';
+  check_int "same cell" (base + 43) (Metrics.value c);
+  check "snapshot sees counter" true
+    (Metrics.get "obs_test_counter" = Some (Metrics.Counter_v (base + 43)));
+  check "snapshot sees gauge" true
+    (Metrics.get "obs_test_gauge" = Some (Metrics.Gauge_v 2.5));
+  check "help kept" true (Metrics.help "obs_test_counter" = Some "test counter");
+  check "kind mismatch rejected" true
+    (try
+       ignore (Metrics.gauge "obs_test_counter");
+       false
+     with Invalid_argument _ -> true);
+  let names = List.map fst (Metrics.snapshot ()) in
+  check "snapshot sorted" true (List.sort compare names = names)
+
+let test_metrics_parallel_adds () =
+  let c = Metrics.counter "obs_test_parallel" in
+  let base = Metrics.value c in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Pool.parallel_for ~pool ~chunk:1 ~total:64 (fun ~worker:_ ~lo ~hi ->
+          for _ = lo to hi - 1 do
+            Metrics.add c 5
+          done));
+  check_int "atomic under contention" (base + 320) (Metrics.value c)
+
+let test_metrics_json () =
+  ignore (Metrics.counter "obs_test_json");
+  let json = Metrics.to_json () in
+  check "flat json has key" true (contains json "\"obs_test_json\":");
+  let nd = Metrics.to_ndjson () in
+  check "ndjson self-describing" true
+    (List.exists
+       (fun line -> contains line "\"name\":\"obs_test_json\"")
+       (String.split_on_char '\n' nd))
+
+(* --- Bugfix regressions ----------------------------------------------- *)
+
+let matrix_of cols rows =
+  let m = Matrix.create ~rows:(List.length rows) ~cols in
+  List.iteri (fun i cs -> List.iter (fun j -> Matrix.set m ~row:i ~col:j) cs) rows;
+  m
+
+(* Ilp.solve on a matrix with an uncoverable column: cover the rest and
+   report, exactly like Greedy.solve's silent skip — no more mid-flow
+   crash on undetectable faults. *)
+let test_ilp_uncovered_consistency () =
+  let m = matrix_of 3 [ [ 0 ]; [ 2 ] ] in
+  let r = Ilp.solve m in
+  check "uncovered column reported" true (r.Ilp.uncovered = [ 1 ]);
+  check "coverable columns solved" true (r.Ilp.selected = [ 0; 1 ]);
+  check "complete" true (r.Ilp.optimal);
+  check "greedy agrees on coverage" true
+    (List.sort compare (Greedy.solve m) = r.Ilp.selected)
+
+(* storage_bits: ceil(log2 T) counter, not floor + 1 — a power-of-two
+   burst length no longer pays a phantom bit. *)
+let test_storage_bits_pow2 () =
+  let bits cycles =
+    let t =
+      Triplet.make ~seed:(Word.of_int 4 3) ~operand:(Word.of_int 4 1) ~cycles
+    in
+    Triplet.storage_bits t - 8
+  in
+  check_int "T=1 needs a bit" 1 (bits 1);
+  check_int "T=2" 1 (bits 2);
+  check_int "T=3" 2 (bits 3);
+  check_int "T=8 is 3 bits, not 4" 3 (bits 8);
+  check_int "T=9" 4 (bits 9);
+  check_int "T=150" 8 (bits 150);
+  check_int "T=1024 is 10 bits, not 11" 10 (bits 1024)
+
+(* uniform_test_length must price the uniform-T scheme: every selected
+   triplet at its full configured burst length, not the truncated cycles
+   of the surviving subset. *)
+let test_uniform_test_length () =
+  let circuit = Library.load "c17" in
+  let p = Suite.prepare_circuit circuit in
+  let tpg = Accumulator.adder (Circuit.input_count circuit) in
+  let cycles = 150 in
+  let config =
+    {
+      Flow.default_config with
+      Flow.builder = { Builder.default_config with Builder.cycles };
+    }
+  in
+  let r = Flow.run ~config p.Suite.sim tpg ~tests:p.Suite.tests ~targets:p.Suite.targets in
+  let n_selected = List.length r.Flow.solution.Solution.rows in
+  check "something selected" true (n_selected > 0);
+  check_int "uniform = |selected| x configured T" (n_selected * cycles)
+    r.Flow.uniform_test_length;
+  check "uniform >= truncated total" true (r.Flow.uniform_test_length >= r.Flow.test_length)
+
+(* default_taps: primitive polynomials all the way to width 64.
+   Exhaustive maximal-orbit check while 2^w is small, no-short-cycle
+   sanity beyond, metrics-visible fallback past 64. *)
+let test_default_taps_maximal () =
+  for w = 2 to 16 do
+    let tpg = Lfsr.fibonacci w (Lfsr.default_taps w) in
+    let seed = Word.of_int w 1 and operand = Word.zero w in
+    let expected = (1 lsl w) - 1 in
+    match Tpg.period tpg ~seed ~operand ~limit:(expected + 2) with
+    | Some p -> check_int (Printf.sprintf "width %d maximal" w) expected p
+    | None -> Alcotest.failf "width %d: no period within 2^w+2" w
+  done
+
+let test_default_taps_no_short_cycle () =
+  List.iter
+    (fun w ->
+      let tpg = Lfsr.fibonacci w (Lfsr.default_taps w) in
+      let seed = Word.of_int w 1 and operand = Word.zero w in
+      check
+        (Printf.sprintf "width %d: no cycle within 65535 steps" w)
+        true
+        (Tpg.period tpg ~seed ~operand ~limit:65_535 = None))
+    [ 17; 23; 31; 36; 41; 54; 60; 64 ]
+
+let test_default_taps_fallback_metric () =
+  let before =
+    match Metrics.get "lfsr_fallback_taps" with
+    | Some (Metrics.Counter_v n) -> n
+    | _ -> 0
+  in
+  check "fallback taps shape" true (Lfsr.default_taps 100 = [ 99; 0 ]);
+  match Metrics.get "lfsr_fallback_taps" with
+  | Some (Metrics.Counter_v n) -> check_int "fallback counted" (before + 1) n
+  | _ -> Alcotest.fail "lfsr_fallback_taps not registered"
+
+let suite =
+  [
+    ( "observability",
+      [
+        Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        Alcotest.test_case "span on exception" `Quick test_span_exception_recorded;
+        Alcotest.test_case "instant" `Quick test_instant;
+        Alcotest.test_case "merge determinism across jobs" `Quick test_merge_determinism;
+        Alcotest.test_case "disabled zero alloc" `Quick test_disabled_zero_alloc;
+        Alcotest.test_case "chrome json shape" `Quick test_chrome_json_shape;
+        Alcotest.test_case "metrics roundtrip" `Quick test_metrics_roundtrip;
+        Alcotest.test_case "metrics parallel adds" `Quick test_metrics_parallel_adds;
+        Alcotest.test_case "metrics json" `Quick test_metrics_json;
+        Alcotest.test_case "ilp uncovered consistency" `Quick test_ilp_uncovered_consistency;
+        Alcotest.test_case "storage bits pow2" `Quick test_storage_bits_pow2;
+        Alcotest.test_case "uniform test length" `Quick test_uniform_test_length;
+        Alcotest.test_case "taps maximal 2..16" `Quick test_default_taps_maximal;
+        Alcotest.test_case "taps no short cycle" `Quick test_default_taps_no_short_cycle;
+        Alcotest.test_case "taps fallback metric" `Quick test_default_taps_fallback_metric;
+      ] );
+  ]

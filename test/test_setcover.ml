@@ -164,12 +164,18 @@ let test_ilp_weighted () =
   check "cost 3" true (abs_float (r.Ilp.cost -. 3.) < 1e-9)
 
 let test_ilp_infeasible () =
+  (* Column 1 is coverable by no row: the exact solver must cover the
+     rest and report it instead of raising, matching Greedy.solve. *)
   let m = matrix_of 2 [ [ 0 ] ] in
-  check "raises" true
-    (try
-       ignore (Ilp.solve m);
-       false
-     with Invalid_argument _ -> true)
+  let r = Ilp.solve m in
+  check "uncovered reported" true (r.Ilp.uncovered = [ 1 ]);
+  check "coverable part solved" true (r.Ilp.selected = [ 0 ]);
+  check "still optimal" true r.Ilp.optimal;
+  (* A fully uncoverable instance selects nothing. *)
+  let empty = matrix_of 2 [] in
+  let r2 = Ilp.solve empty in
+  check "all uncovered" true (r2.Ilp.uncovered = [ 0; 1 ]);
+  check "nothing selected" true (r2.Ilp.selected = [])
 
 let test_ilp_bad_weights () =
   let m = matrix_of 1 [ [ 0 ] ] in
