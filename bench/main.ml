@@ -27,7 +27,12 @@
                            sequential event-engine run) verbatim under the
                            "baseline" key of the new summary.
      RESEED_JOBS=N         worker-domain count for the parallel phases
-                           (default: the machine's recommended count). *)
+                           (default: the machine's recommended count).
+     RESEED_CACHE=DIR      artifact store: completed pipeline stages
+                           (ATPG, matrix, reduce, solve, truncate, sweep,
+                           gatsby) persist under DIR and reload on the
+                           next run; a warm table1 rerun touches neither
+                           ATPG nor the matrix builder. *)
 
 open Reseed_core
 open Reseed_gatsby
@@ -64,6 +69,8 @@ let bench_json_path =
   match Sys.getenv_opt "RESEED_BENCH_JSON" with
   | Some p -> p
   | None -> "BENCH_reseed.json"
+
+let store = Artifact.from_env ()
 
 (* Per-circuit wall-clock / work accounting feeding BENCH_reseed.json. *)
 type circuit_stats = {
@@ -116,6 +123,9 @@ let write_bench_json ~total_s () =
         s.rep_faults)
     (List.rev !stats_order);
   pr "\n  ],\n";
+  let cv name = match Metrics.get name with Some (Metrics.Counter_v v) -> v | _ -> 0 in
+  pr "  \"cache\": { \"enabled\": %b, \"hits\": %d, \"misses\": %d, \"corrupt\": %d },\n"
+    (store <> None) (cv "artifact_hits") (cv "artifact_misses") (cv "artifact_corrupt");
   pr "  \"metrics\": %s,\n" (Metrics.to_json ());
   pr "  \"total_s\": %.3f" total_s;
   (* A previous run's summary (typically RESEED_ENGINE=event RESEED_JOBS=1)
@@ -165,7 +175,7 @@ let prepare name =
       let t0 = Unix.gettimeofday () in
       let p =
         Suite.prepare ~scale_factor:(scale_for name) ~sim_engine
-          ~collapse:collapse_on name
+          ~collapse:collapse_on ?store name
       in
       let elapsed = Unix.gettimeofday () -. t0 in
       let s = stats_for name in
@@ -297,7 +307,13 @@ let run_ablation () =
     (flow_with ~reduce:{ Reduce.default_config with Reduce.col_dominance = false } ());
   add "essentials only"
     (flow_with
-       ~reduce:{ Reduce.essentials = true; row_dominance = false; col_dominance = false }
+       ~reduce:
+         {
+           Reduce.default_config with
+           Reduce.essentials = true;
+           row_dominance = false;
+           col_dominance = false;
+         }
        ());
   add "greedy end-game" (flow_with ~method_:Solution.Greedy_only ());
   add "exact, no reduction" (flow_with ~method_:Solution.No_reduction_exact ());

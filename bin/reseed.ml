@@ -7,6 +7,7 @@
      solve     compute a minimal reseeding solution (the paper's flow)
      gatsby    run the GATSBY-style genetic baseline
      tradeoff  sweep evolution length T (Figure 2 style)
+     batch     run a manifest-driven multi-circuit campaign
      fullscan  extract the combinational core of a sequential circuit
      gen       emit a synthetic ISCAS-like circuit as a .bench file
 
@@ -118,6 +119,14 @@ let trace_arg =
 let metrics_arg =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Write the work-counter registry to $(docv) as JSON, or NDJSON if $(docv) ends in .ndjson.")
 
+let cache_arg =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc:"Content-addressed artifact store: completed pipeline stages (ATPG, matrix, reduce, solve, truncate) are persisted under $(docv) and reloaded on reruns.  Defaults to $(b,RESEED_CACHE) when set.")
+
+let cache_stats_line () =
+  let v name = Metrics.value (Metrics.counter name) in
+  Printf.sprintf "cache: %d hits, %d misses, %d corrupt" (v "artifact_hits")
+    (v "artifact_misses") (v "artifact_corrupt")
+
 (* The writers run from [at_exit] so interrupted (exit 130) and failed
    runs still dump whatever was recorded; a write failure never masks
    the run's own exit code. *)
@@ -222,13 +231,14 @@ let solve_cmd =
     Arg.(value & opt objective_conv Flow.Min_triplets & info [ "objective" ] ~docv:"O" ~doc:"$(b,triplets) (paper) or $(b,length) (weighted extension).")
   in
   let run name scale tpg_kind cycles method_ verify objective deadline jobs checkpoint
-      trace metrics =
+      cache trace metrics =
     guard @@ fun () ->
     setup_observability ~trace ~metrics;
     let budget = budget_with_sigint deadline in
     with_jobs jobs @@ fun pool ->
+    let store = Artifact.resolve ?dir:cache () in
     let c = load_circuit name ~scale in
-    let p = Suite.prepare_circuit ~budget c in
+    let p = Suite.prepare_circuit ~budget ?store c in
     let tpg = tpg_of_kind tpg_kind (Circuit.input_count c) in
     let config =
       {
@@ -239,7 +249,8 @@ let solve_cmd =
       }
     in
     let r =
-      Flow.run ~config ?pool ~budget ?checkpoint p.Suite.sim tpg ~tests:p.Suite.tests
+      Flow.run ~config ?pool ~budget ?checkpoint ?store:p.Suite.store
+        ~fingerprint:p.Suite.fingerprint p.Suite.sim tpg ~tests:p.Suite.tests
         ~targets:p.Suite.targets
     in
     let stats = r.Flow.solution.Reseed_setcover.Solution.stats in
@@ -272,12 +283,14 @@ let solve_cmd =
       Printf.printf "verification: %s\n" (if ok then "PASSED" else "FAILED");
       if not ok then exit 1
     end;
+    if store <> None then Printf.printf "%s\n" (cache_stats_line ());
     exit_if_interrupted budget
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute a minimal reseeding solution (set covering flow).")
     Term.(
       const run $ circuit_arg $ scale_arg $ tpg_arg $ cycles_arg $ method_arg $ verify_arg
-      $ objective_arg $ deadline_arg $ jobs_arg $ checkpoint_arg $ trace_arg $ metrics_arg)
+      $ objective_arg $ deadline_arg $ jobs_arg $ checkpoint_arg $ cache_arg $ trace_arg
+      $ metrics_arg)
 
 (* gatsby *)
 
@@ -345,6 +358,57 @@ let tradeoff_cmd =
       const run $ circuit_arg $ scale_arg $ tpg_arg $ grid_arg $ jobs_arg $ trace_arg
       $ metrics_arg)
 
+(* batch *)
+
+let batch_cmd =
+  let manifest_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MANIFEST" ~doc:"Campaign manifest file (circuits × TPGs × evolution lengths; see the manual).")
+  in
+  let report_arg =
+    Arg.(value & opt string "batch_report.json" & info [ "report" ] ~docv:"FILE" ~doc:"Write the aggregated campaign report to $(docv).")
+  in
+  let run manifest_path report deadline jobs cache trace metrics =
+    guard @@ fun () ->
+    setup_observability ~trace ~metrics;
+    let budget = budget_with_sigint deadline in
+    let store = Artifact.resolve ?dir:cache () in
+    let m = Batch.parse_file manifest_path in
+    let total = List.length m.Batch.jobs in
+    Printf.printf "campaign: %d jobs%s\n%!" total
+      (match store with
+      | Some s -> Printf.sprintf " (cache: %s)" (Artifact.root s)
+      | None -> "");
+    (* on_done fires from worker domains; serialise progress output. *)
+    let mu = Mutex.create () in
+    let on_done _i (r : Batch.job_result) =
+      Mutex.lock mu;
+      (match r.Batch.status with
+      | Batch.Ok ->
+          Printf.printf "  %-10s %-11s T=%-5d %4d triplets, length %5d, %.2f%%%s\n%!"
+            r.Batch.job.Batch.circuit r.Batch.job.Batch.tpg r.Batch.job.Batch.cycles
+            r.Batch.triplets r.Batch.test_length r.Batch.coverage_pct
+            (if r.Batch.degraded then "  [degraded]" else "")
+      | Batch.Skipped ->
+          Printf.printf "  %-10s %-11s T=%-5d skipped (budget expired)\n%!"
+            r.Batch.job.Batch.circuit r.Batch.job.Batch.tpg r.Batch.job.Batch.cycles);
+      Mutex.unlock mu
+    in
+    let results =
+      with_jobs jobs @@ fun pool -> Batch.run ?pool ?store ~budget ~on_done m
+    in
+    Artifact.write_atomic report (Batch.report_json m results);
+    let ok = List.length (List.filter (fun r -> r.Batch.status = Batch.Ok) results) in
+    Printf.printf "done: %d/%d jobs, report %s\n" ok total report;
+    if store <> None then Printf.printf "%s\n" (cache_stats_line ());
+    exit_if_interrupted budget
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run a manifest-driven campaign: circuits × TPGs × evolution lengths in parallel, with per-job deadlines and an aggregated JSON report.  With $(b,--cache), an interrupted campaign resumes from its completed stages and reproduces the report byte-for-byte.")
+    Term.(
+      const run $ manifest_arg $ report_arg $ deadline_arg $ jobs_arg $ cache_arg
+      $ trace_arg $ metrics_arg)
+
 (* fullscan *)
 
 let fullscan_cmd =
@@ -387,7 +451,16 @@ let () =
   let code =
     Cmd.eval
       (Cmd.group ~default info_
-         [ info_cmd; atpg_cmd; solve_cmd; gatsby_cmd; tradeoff_cmd; fullscan_cmd; gen_cmd ])
+         [
+           info_cmd;
+           atpg_cmd;
+           solve_cmd;
+           gatsby_cmd;
+           tradeoff_cmd;
+           batch_cmd;
+           fullscan_cmd;
+           gen_cmd;
+         ])
   in
   (* Cmdliner reports CLI parse errors as 124; the documented usage code
      is 2 (see Reseed_util.Error). *)

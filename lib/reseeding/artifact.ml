@@ -1,0 +1,280 @@
+open Reseed_util
+
+let magic = "RSAF"
+let version = 1
+
+(* magic(4) + version u32 + kind digest u64 + fingerprint u64 +
+   payload length u32 + payload checksum u64 *)
+let header_bytes = 4 + 4 + 8 + 8 + 4 + 8
+
+let read_opt path =
+  try Some (In_channel.with_open_bin path In_channel.input_all)
+  with Sys_error _ -> None
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | Unix.Unix_error (e, _, _) ->
+        Error.fail Error.Input_error "cannot create directory %s: %s" dir
+          (Unix.error_message e)
+  end
+  else if not (Sys.is_directory dir) then
+    Error.fail Error.Input_error "artifact path %s is not a directory" dir
+
+(* Crash-safe write: the file appears under its final name only complete. *)
+let write_atomic path data =
+  mkdir_p (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  try
+    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data);
+    Sys.rename tmp path
+  with Sys_error m -> Error.fail Error.Input_error "artifact write failed: %s" m
+
+module Codec = struct
+  let u32 b v =
+    for k = 0 to 3 do
+      Buffer.add_char b (Char.chr ((v lsr (8 * k)) land 0xff))
+    done
+
+  let u64 b v =
+    for k = 0 to 7 do
+      Buffer.add_char b
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xff))
+    done
+
+  let vint b v = u64 b (Int64.of_int v)
+  let float b v = u64 b (Int64.bits_of_float v)
+
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let int_list b l =
+    u32 b (List.length l);
+    List.iter (fun v -> vint b v) l
+
+  let bitvec b v =
+    u32 b (Bitvec.length v);
+    Buffer.add_bytes b (Bitvec.to_bytes v)
+
+  let pattern b p =
+    u32 b (Array.length p);
+    let nb = (Array.length p + 7) / 8 in
+    let by = Bytes.make nb '\000' in
+    Array.iteri
+      (fun i bit ->
+        if bit then
+          Bytes.set by (i / 8)
+            (Char.chr (Char.code (Bytes.get by (i / 8)) lor (1 lsl (i mod 8)))))
+      p;
+    Buffer.add_bytes b by
+
+  let patterns b ps =
+    u32 b (Array.length ps);
+    Array.iter (pattern b) ps
+
+  let word b w =
+    let bits = Word.to_bits w in
+    u32 b (Array.length bits);
+    let nb = (Array.length bits + 7) / 8 in
+    let by = Bytes.make nb '\000' in
+    Array.iteri
+      (fun i bit ->
+        if bit then
+          Bytes.set by (i / 8)
+            (Char.chr (Char.code (Bytes.get by (i / 8)) lor (1 lsl (i mod 8)))))
+      bits;
+    Buffer.add_bytes b by
+
+  type reader = { s : string; mutable pos : int }
+
+  exception Malformed
+
+  let reader s = { s; pos = 0 }
+
+  let take r n =
+    if n < 0 || r.pos + n > String.length r.s then raise Malformed;
+    let off = r.pos in
+    r.pos <- off + n;
+    off
+
+  let get_u32 r =
+    let off = take r 4 in
+    let v = ref 0 in
+    for k = 3 downto 0 do
+      v := (!v lsl 8) lor Char.code r.s.[off + k]
+    done;
+    !v
+
+  let get_u64 r =
+    let off = take r 8 in
+    let v = ref 0L in
+    for k = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code r.s.[off + k]))
+    done;
+    !v
+
+  let get_vint r =
+    let v = get_u64 r in
+    if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+      raise Malformed;
+    Int64.to_int v
+
+  let get_float r = Int64.float_of_bits (get_u64 r)
+
+  let get_str r =
+    let n = get_u32 r in
+    let off = take r n in
+    String.sub r.s off n
+
+  let get_int_list r =
+    let n = get_u32 r in
+    List.init n (fun _ -> get_vint r)
+
+  let get_bitvec r =
+    let n = get_u32 r in
+    let nb = (n + 7) / 8 in
+    let off = take r nb in
+    try Bitvec.of_bytes n (Bytes.of_string (String.sub r.s off nb))
+    with Invalid_argument _ -> raise Malformed
+
+  let get_pattern r =
+    let n = get_u32 r in
+    let nb = (n + 7) / 8 in
+    let off = take r nb in
+    Array.init n (fun i -> Char.code r.s.[off + (i / 8)] land (1 lsl (i mod 8)) <> 0)
+
+  let get_patterns r =
+    let n = get_u32 r in
+    Array.init n (fun _ -> get_pattern r)
+
+  let get_word r =
+    let n = get_u32 r in
+    if n < 1 || n > 4096 then raise Malformed;
+    let nb = (n + 7) / 8 in
+    let off = take r nb in
+    Word.of_bits
+      (Array.init n (fun i ->
+           Char.code r.s.[off + (i / 8)] land (1 lsl (i mod 8)) <> 0))
+
+  let at_end r = r.pos = String.length r.s
+end
+
+let checksum payload = Fingerprint.raw_string Fingerprint.empty payload
+let kind_digest kind = Fingerprint.string (Fingerprint.salted "artifact-kind") kind
+
+let encode ~kind ~fingerprint payload =
+  let b = Buffer.create (header_bytes + String.length payload) in
+  Buffer.add_string b magic;
+  Codec.u32 b version;
+  Codec.u64 b (kind_digest kind);
+  Codec.u64 b fingerprint;
+  Codec.u32 b (String.length payload);
+  Codec.u64 b (checksum payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let decode ~kind ~fingerprint s =
+  if String.length s < header_bytes then None
+  else
+    let r = Codec.reader s in
+    try
+      let m = String.sub s (Codec.take r 4) 4 in
+      if m <> magic then None
+      else if Codec.get_u32 r <> version then None
+      else if not (Fingerprint.equal (Codec.get_u64 r) (kind_digest kind)) then None
+      else if not (Fingerprint.equal (Codec.get_u64 r) fingerprint) then None
+      else begin
+        let len = Codec.get_u32 r in
+        let cks = Codec.get_u64 r in
+        if String.length s <> header_bytes + len then None
+        else
+          let payload = String.sub s header_bytes len in
+          if Fingerprint.equal (checksum payload) cks then Some payload else None
+      end
+    with Codec.Malformed -> None
+
+type store = { dir : string }
+
+let open_store dir =
+  mkdir_p dir;
+  { dir }
+
+let from_env () =
+  match Sys.getenv_opt "RESEED_CACHE" with
+  | Some dir when dir <> "" -> Some (open_store dir)
+  | _ -> None
+
+let resolve ?dir () =
+  match dir with Some d -> Some (open_store d) | None -> from_env ()
+
+let root t = t.dir
+
+let path t ~stage fp =
+  Filename.concat (Filename.concat t.dir stage) (Fingerprint.to_hex fp ^ ".art")
+
+let m_hits = Metrics.counter ~help:"artifact-store cache hits" "artifact_hits"
+let m_misses = Metrics.counter ~help:"artifact-store cache misses" "artifact_misses"
+let m_writes = Metrics.counter ~help:"artifacts persisted" "artifact_writes"
+
+let m_corrupt =
+  Metrics.counter ~help:"artifacts rejected as corrupt (recomputed)" "artifact_corrupt"
+
+let load t ~stage fp =
+  match read_opt (path t ~stage fp) with
+  | None -> None
+  | Some s -> (
+      match decode ~kind:stage ~fingerprint:fp s with
+      | Some payload -> Some payload
+      | None ->
+          Metrics.incr m_corrupt;
+          None)
+
+let save t ~stage fp payload =
+  Metrics.incr m_writes;
+  write_atomic (path t ~stage fp) (encode ~kind:stage ~fingerprint:fp payload)
+
+(* Per-stage hit/miss counters, registered on first use (idempotent). *)
+let stage_counter stage which =
+  Metrics.counter
+    ~help:(Printf.sprintf "%s-stage cache %s" stage which)
+    (Printf.sprintf "stage_%s_cache_%s" stage which)
+
+let cached store ~stage ~fp ~encode:enc ~decode:dec compute =
+  match store with
+  | None -> compute ()
+  | Some t -> (
+      let decoded =
+        match load t ~stage fp with
+        | None -> None
+        | Some payload -> (
+            (* Any decoder failure — truncated stream, out-of-range field,
+               trailing bytes — is corruption: recompute and overwrite. *)
+            try
+              let r = Codec.reader payload in
+              let v = dec r in
+              if Codec.at_end r then Some v
+              else begin
+                Metrics.incr m_corrupt;
+                None
+              end
+            with _ ->
+              Metrics.incr m_corrupt;
+              None)
+      in
+      match decoded with
+      | Some v ->
+          Metrics.incr m_hits;
+          Metrics.incr (stage_counter stage "hits");
+          Trace.instant "artifact.hit"
+            ~args:[ ("stage", stage); ("fp", Fingerprint.to_hex fp) ];
+          v
+      | None ->
+          Metrics.incr m_misses;
+          Metrics.incr (stage_counter stage "misses");
+          let v = compute () in
+          (match enc v with Some payload -> save t ~stage fp payload | None -> ());
+          v)

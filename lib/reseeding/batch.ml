@@ -1,0 +1,262 @@
+open Reseed_fault
+open Reseed_netlist
+open Reseed_setcover
+open Reseed_tpg
+open Reseed_util
+
+type job = { circuit : string; tpg : string; cycles : int }
+
+type manifest = {
+  method_ : Solution.method_;
+  objective : Flow.objective;
+  scale : int;
+  job_deadline : float option;
+  jobs : job list;
+}
+
+let tpg_names = [ "adder"; "subtracter"; "multiplier"; "mp-lfsr" ]
+
+let tpg_of_name name width =
+  match name with
+  | "adder" -> Accumulator.adder width
+  | "subtracter" -> Accumulator.subtracter width
+  | "multiplier" -> Accumulator.multiplier width
+  | "mp-lfsr" -> Lfsr.multi_polynomial width
+  | _ -> Error.fail Error.Input_error "unknown TPG %S" name
+
+(* --- manifest parsing ------------------------------------------------ *)
+
+let trim = String.trim
+
+let split_list s =
+  String.split_on_char ',' s |> List.map trim |> List.filter (fun x -> x <> "")
+
+let parse_string ?(path = "<manifest>") text =
+  let fail_line line fmt = Error.fail ~file:path ~line Error.Input_error fmt in
+  let circuits = ref [] and tpgs = ref [] and cycles = ref [] in
+  let method_ = ref Solution.Exact and objective = ref Flow.Min_triplets in
+  let scale = ref 1 and job_deadline = ref None in
+  let explicit = ref [] in
+  let check_tpg line name =
+    if not (List.mem name tpg_names) then
+      fail_line line "unknown TPG %S (expected %s)" name (String.concat ", " tpg_names)
+  in
+  let parse_cycles line s =
+    match int_of_string_opt s with
+    | Some c when c >= 1 -> c
+    | _ -> fail_line line "bad evolution length %S (positive integer expected)" s
+  in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s =
+        match String.index_opt raw '#' with
+        | Some k -> trim (String.sub raw 0 k)
+        | None -> trim raw
+      in
+      if s <> "" then
+        match String.index_opt s '=' with
+        | Some k ->
+            let key = trim (String.sub s 0 k) in
+            let v = trim (String.sub s (k + 1) (String.length s - k - 1)) in
+            if v = "" then fail_line line "empty value for %S" key;
+            (match key with
+            | "circuits" -> circuits := split_list v
+            | "tpgs" ->
+                let l = split_list v in
+                List.iter (check_tpg line) l;
+                tpgs := l
+            | "cycles" -> cycles := List.map (parse_cycles line) (split_list v)
+            | "method" -> (
+                match v with
+                | "exact" -> method_ := Solution.Exact
+                | "greedy" -> method_ := Solution.Greedy_only
+                | "noreduce" -> method_ := Solution.No_reduction_exact
+                | _ -> fail_line line "unknown method %S (exact|greedy|noreduce)" v)
+            | "objective" -> (
+                match v with
+                | "triplets" -> objective := Flow.Min_triplets
+                | "length" -> objective := Flow.Min_test_length
+                | _ -> fail_line line "unknown objective %S (triplets|length)" v)
+            | "scale" -> (
+                match int_of_string_opt v with
+                | Some n when n >= 1 -> scale := n
+                | _ -> fail_line line "bad scale %S (positive integer expected)" v)
+            | "job_deadline" -> (
+                match float_of_string_opt v with
+                | Some d when d > 0. -> job_deadline := Some d
+                | _ -> fail_line line "bad job_deadline %S (positive seconds expected)" v)
+            | _ -> fail_line line "unknown manifest key %S" key)
+        | None -> (
+            match String.split_on_char ' ' s |> List.filter (fun x -> x <> "") with
+            | [ "job"; circuit; tpg; cy ] ->
+                check_tpg line tpg;
+                explicit := { circuit; tpg; cycles = parse_cycles line cy } :: !explicit
+            | "job" :: _ -> fail_line line "job line wants: job CIRCUIT TPG CYCLES"
+            | _ -> fail_line line "cannot parse %S (KEY = VALUE or job line expected)" s))
+    (String.split_on_char '\n' text);
+  let product =
+    List.concat_map
+      (fun circuit ->
+        List.concat_map
+          (fun tpg -> List.map (fun cycles -> { circuit; tpg; cycles }) !cycles)
+          !tpgs)
+      !circuits
+  in
+  let jobs = product @ List.rev !explicit in
+  if jobs = [] then
+    Error.fail ~file:path Error.Input_error
+      "manifest defines no jobs (need circuits+tpgs+cycles, or job lines)";
+  {
+    method_ = !method_;
+    objective = !objective;
+    scale = !scale;
+    job_deadline = !job_deadline;
+    jobs;
+  }
+
+let parse_file path =
+  match Artifact.read_opt path with
+  | Some text -> parse_string ~path text
+  | None -> Error.fail Error.Input_error "cannot read manifest %s" path
+
+(* --- campaign execution --------------------------------------------- *)
+
+type status = Ok | Skipped
+
+type job_result = {
+  job : job;
+  status : status;
+  triplets : int;
+  test_length : int;
+  rom_bits : int;
+  coverage_pct : float;
+  degraded : bool;
+}
+
+let m_completed =
+  Metrics.counter ~help:"batch jobs completed" "batch_jobs_completed"
+
+let m_skipped =
+  Metrics.counter ~help:"batch jobs skipped (campaign budget expired)"
+    "batch_jobs_skipped"
+
+let skipped_result job =
+  {
+    job;
+    status = Skipped;
+    triplets = 0;
+    test_length = 0;
+    rom_bits = 0;
+    coverage_pct = 0.;
+    degraded = true;
+  }
+
+let run ?pool ?store ?budget ?on_done manifest =
+  Trace.with_span "batch.run"
+    ~args:[ ("jobs", string_of_int (List.length manifest.jobs)) ]
+  @@ fun () ->
+  let jobs = Array.of_list manifest.jobs in
+  (* Distinct circuits prepare once, sequentially: the ATPG front-end is
+     itself parallel inside, and each prepared workload is then shared
+     read-only by every job on that circuit. *)
+  let prepared : (string, Suite.prepared) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun j ->
+      if not (Hashtbl.mem prepared j.circuit) then
+        Hashtbl.replace prepared j.circuit
+          (Suite.prepare ~scale_factor:manifest.scale ?budget ?store j.circuit))
+    jobs;
+  let results = Array.map skipped_result jobs in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  Pool.parallel_for ~pool ~chunk:1 ~label:"batch jobs" ~total:(Array.length jobs)
+    (fun ~worker:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        let job = jobs.(i) in
+        if Budget.check budget then Metrics.incr m_skipped
+        else begin
+          let job_budget =
+            match (budget, manifest.job_deadline) with
+            | Some g, Some d -> Some (Budget.sub ~deadline_s:d g)
+            | Some g, None -> Some g
+            | None, Some d -> Some (Budget.create ~deadline_s:d ())
+            | None, None -> None
+          in
+          let p = Hashtbl.find prepared job.circuit in
+          (* Concurrent jobs on one circuit must not share the prepared
+             simulator's scratch state. *)
+          let sim = Fault_sim.copy p.Suite.sim in
+          let tpg = tpg_of_name job.tpg (Circuit.input_count p.Suite.circuit) in
+          let config =
+            {
+              Flow.default_config with
+              Flow.builder =
+                { Builder.default_config with Builder.cycles = job.cycles };
+              method_ = manifest.method_;
+              objective = manifest.objective;
+            }
+          in
+          let r =
+            Flow.run ~config ?budget:job_budget ?store:p.Suite.store
+              ~fingerprint:p.Suite.fingerprint sim tpg ~tests:p.Suite.tests
+              ~targets:p.Suite.targets
+          in
+          results.(i) <-
+            {
+              job;
+              status = Ok;
+              triplets = Flow.reseedings r;
+              test_length = r.Flow.test_length;
+              rom_bits =
+                List.fold_left
+                  (fun acc t -> acc + Triplet.storage_bits t)
+                  0 r.Flow.final_triplets;
+              coverage_pct = r.Flow.coverage_pct;
+              degraded = r.Flow.degraded || p.Suite.atpg.Reseed_atpg.Atpg.stopped_early;
+            };
+          Metrics.incr m_completed
+        end;
+        Option.iter (fun f -> f i results.(i)) on_done
+      done);
+  Array.to_list results
+
+(* --- report ---------------------------------------------------------- *)
+
+let status_name = function Ok -> "ok" | Skipped -> "skipped"
+
+(* No timings, host names or cache statistics in the report: a warm
+   resume must reproduce the cold report byte for byte. *)
+let report_json manifest results =
+  let b = Buffer.create 1024 in
+  let count f = List.length (List.filter f results) in
+  Buffer.add_string b "{\n  \"method\": ";
+  Buffer.add_string b (Printf.sprintf "%S" (Solution.method_name manifest.method_));
+  Buffer.add_string b
+    (Printf.sprintf ",\n  \"objective\": %S"
+       (match manifest.objective with
+       | Flow.Min_triplets -> "triplets"
+       | Flow.Min_test_length -> "length"));
+  Buffer.add_string b (Printf.sprintf ",\n  \"scale\": %d" manifest.scale);
+  Buffer.add_string b ",\n  \"jobs\": [";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b (if i = 0 then "\n" else ",\n");
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"circuit\": %S, \"tpg\": %S, \"cycles\": %d, \"status\": %S, \
+            \"triplets\": %d, \"test_length\": %d, \"rom_bits\": %d, \
+            \"coverage_pct\": %.4f, \"degraded\": %b }"
+           r.job.circuit r.job.tpg r.job.cycles (status_name r.status) r.triplets
+           r.test_length r.rom_bits r.coverage_pct r.degraded))
+    results;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"summary\": { \"total\": %d, \"ok\": %d, \"skipped\": %d, \"degraded\": \
+        %d }\n"
+       (List.length results)
+       (count (fun r -> r.status = Ok))
+       (count (fun r -> r.status = Skipped))
+       (count (fun r -> r.degraded)));
+  Buffer.add_string b "}\n";
+  Buffer.contents b

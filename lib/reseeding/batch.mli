@@ -1,0 +1,83 @@
+(** Manifest-driven multi-circuit campaigns ([reseed batch]).
+
+    A campaign is the cross product circuits × TPGs × evolution lengths
+    (plus explicit [job] lines) from a small text manifest:
+
+    {v
+    # lines starting with # are comments
+    circuits     = c17, c432
+    tpgs         = adder, multiplier
+    cycles       = 100, 150
+    method       = exact          # exact | greedy | noreduce
+    objective    = triplets       # triplets | length
+    scale        = 1              # synthetic-circuit divisor
+    job_deadline = 30             # seconds per job (optional)
+    job s420 subtracter 200       # explicit extra job
+    v}
+
+    Jobs run in parallel on the shared {!Reseed_util.Pool}, each on its
+    own {!Reseed_fault.Fault_sim.copy} of the prepared simulator (the
+    scratch state is not shared), each under its own child
+    {!Reseed_util.Budget} of the campaign budget.  Results land in job
+    order and are bit-identical at every job count.
+
+    With an artifact store, every stage a job completes is persisted, so
+    a campaign killed by SIGINT resumes by rerunning: finished stages
+    load back warm and the report comes out identical to an uninterrupted
+    run. *)
+
+open Reseed_setcover
+open Reseed_util
+
+type job = { circuit : string; tpg : string; cycles : int }
+
+type manifest = {
+  method_ : Solution.method_;
+  objective : Flow.objective;
+  scale : int;
+  job_deadline : float option;
+  jobs : job list;  (** expanded: cross product first, explicit jobs after *)
+}
+
+(** [parse_string ?path s] parses manifest text.  Raises
+    {!Error.Reseed_error} ([Input_error]) with [path:line] coordinates on
+    unknown keys, malformed values, unknown TPG names or an empty job
+    list. *)
+val parse_string : ?path:string -> string -> manifest
+
+(** [parse_file path] — {!parse_string} over the file's contents. *)
+val parse_file : string -> manifest
+
+type status = Ok | Skipped  (** [Skipped]: the campaign budget had already expired *)
+
+type job_result = {
+  job : job;
+  status : status;
+  triplets : int;
+  test_length : int;
+  rom_bits : int;  (** Σ triplet storage bits — the ROM-area proxy *)
+  coverage_pct : float;
+  degraded : bool;
+      (** the job's own deadline (or the campaign budget) cut it short *)
+}
+
+(** [run ?pool ?store ?budget ?on_done manifest] prepares each distinct
+    circuit once (sequentially, ATPG-stage cached when [store] is given),
+    then runs every job on the pool.  [budget] is the campaign budget:
+    jobs starting after it expires are [Skipped]; [job_deadline] becomes
+    a {!Budget.sub} child of it per job.  [on_done i r] fires as each job
+    finishes (from worker domains — synchronise in the callback).
+    Results are in manifest job order. *)
+val run :
+  ?pool:Pool.t ->
+  ?store:Artifact.store ->
+  ?budget:Budget.t ->
+  ?on_done:(int -> job_result -> unit) ->
+  manifest ->
+  job_result list
+
+(** [report_json manifest results] renders the aggregated campaign
+    report.  Deterministic: job order, fixed field order, no timings or
+    cache/host information — so a warm rerun's report is byte-identical
+    to the cold one. *)
+val report_json : manifest -> job_result list -> string

@@ -32,13 +32,9 @@ let m_ck_hits =
 let m_rows_skipped =
   Metrics.counter ~help:"rows abandoned to an expired budget" "builder_rows_skipped"
 
-let build ?pool ?budget ?checkpoint sim tpg ~tests ~targets ~config =
-  let nf = Fault_sim.fault_count sim in
-  if Bitvec.length targets <> nf then invalid_arg "Builder.build: target mask size";
-  Trace.with_span "builder.build"
-    ~args:
-      [ ("rows", string_of_int (Array.length tests)); ("faults", string_of_int nf) ]
-  @@ fun () ->
+(* Triplet construction stays sequential: the operand RNG stream is a
+   fixed function of the seed, independent of the job count. *)
+let make_triplets ~config tpg tests =
   let width = tpg.Tpg.width in
   let rng = Rng.create config.seed in
   let operand_for _i =
@@ -51,18 +47,91 @@ let build ?pool ?budget ?checkpoint sim tpg ~tests ~targets ~config =
     in
     tpg.Tpg.fix_operand raw
   in
-  let sims_before = Fault_sim.sims_performed sim in
-  (* Triplet construction stays sequential: the operand RNG stream is a
-     fixed function of the seed, independent of the job count. *)
-  let triplets =
-    Array.mapi
-      (fun i pattern ->
-        if Array.length pattern <> width then
-          invalid_arg "Builder.build: ATPG pattern width differs from TPG width";
-        Triplet.make ~seed:(Word.of_bits pattern) ~operand:(operand_for i)
-          ~cycles:config.cycles)
-      tests
+  Array.mapi
+    (fun i pattern ->
+      if Array.length pattern <> width then
+        invalid_arg "Builder.build: ATPG pattern width differs from TPG width";
+      Triplet.make ~seed:(Word.of_bits pattern) ~operand:(operand_for i)
+        ~cycles:config.cycles)
+    tests
+
+let fingerprint ?salt ~tests ~targets tpg ~config =
+  let open Fingerprint in
+  let h = salted "matrix" in
+  let h = option int64 h salt in
+  let h = int h config.cycles in
+  let h = int h config.seed in
+  let h = string h (operand_tag config.operand_mode) in
+  let h = string h tpg.Tpg.name in
+  let h = int h tpg.Tpg.width in
+  let h = bitvec h targets in
+  patterns h tests
+
+(* The matrix artifact stores what fault simulation produced — row bits
+   and useful-cycle counts.  Triplets are re-derived from the same seed
+   (cheap and deterministic), so a warm hit costs zero injections. *)
+let encode_built b =
+  if b.rows_skipped > 0 then None
+  else begin
+    let n = Array.length b.useful_cycles in
+    let cols = Bitvec.length b.targets in
+    let buf = Buffer.create (8 + (n * (8 + ((cols + 7) / 8)))) in
+    Artifact.Codec.u32 buf n;
+    Artifact.Codec.u32 buf cols;
+    Array.iteri
+      (fun i useful ->
+        Artifact.Codec.u32 buf useful;
+        Artifact.Codec.bitvec buf (Matrix.row b.matrix i))
+      b.useful_cycles;
+    Some (Buffer.contents buf)
+  end
+
+let decode_built ~config ~tests ~targets tpg r =
+  let nf = Bitvec.length targets in
+  let n = Artifact.Codec.get_u32 r in
+  let cols = Artifact.Codec.get_u32 r in
+  if n <> Array.length tests || cols <> nf then raise Artifact.Codec.Malformed;
+  let useful_cycles = Array.make n 1 in
+  let rows =
+    Array.init n (fun i ->
+        useful_cycles.(i) <- Artifact.Codec.get_u32 r;
+        let bits = Artifact.Codec.get_bitvec r in
+        if Bitvec.length bits <> nf then raise Artifact.Codec.Malformed;
+        bits)
   in
+  {
+    triplets = make_triplets ~config tpg tests;
+    matrix = Matrix.of_rows ~cols:nf rows;
+    targets;
+    useful_cycles;
+    fault_sims = 0;
+    rows_skipped = 0;
+    rows_restored = 0;
+  }
+
+let build ?pool ?budget ?checkpoint ?store ?fingerprint:fp sim tpg ~tests ~targets
+    ~config =
+  let nf = Fault_sim.fault_count sim in
+  if Bitvec.length targets <> nf then invalid_arg "Builder.build: target mask size";
+  let fp =
+    match (store, fp) with
+    | Some _, None -> Some (fingerprint ~tests ~targets tpg ~config)
+    | _ -> fp
+  in
+  Artifact.cached
+    (if fp = None then None else store)
+    ~stage:"matrix"
+    ~fp:(Option.value fp ~default:Fingerprint.empty)
+    ~encode:encode_built
+    ~decode:(decode_built ~config ~tests ~targets tpg)
+  @@ fun () ->
+  Trace.with_span "builder.build"
+    ~args:
+      [ ("rows", string_of_int (Array.length tests)); ("faults", string_of_int nf) ]
+  @@ fun () ->
+  let width = tpg.Tpg.width in
+  let sims_before = Fault_sim.sims_performed sim in
+  let triplets = make_triplets ~config tpg tests in
   let n = Array.length triplets in
   let useful_cycles = Array.make n 1 in
   let rows = Array.init n (fun _ -> Bitvec.create nf) in

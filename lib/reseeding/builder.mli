@@ -26,6 +26,10 @@ type config = {
 
 val default_config : config
 
+(** [operand_tag mode] is a stable textual tag of the operand mode, used
+    as a fingerprint/checkpoint key component. *)
+val operand_tag : operand_mode -> string
+
 type t = {
   triplets : Triplet.t array;  (** the initial reseeding T, ATPGTS order *)
   matrix : Matrix.t;  (** rows: triplets; cols: the full fault list *)
@@ -43,12 +47,30 @@ type t = {
   rows_restored : int;  (** rows loaded from the [checkpoint] directory *)
 }
 
-(** [build ?pool ?budget ?checkpoint sim tpg ~tests ~targets ~config] —
-    [tests] is ATPGTS; [targets] selects the fault list F among the
-    simulator's faults.  Matrix columns outside [targets] are left empty
-    (they are not constraints).  Matrix rows are fault-simulated in
-    parallel over [pool] (default: {!Pool.default}) on per-worker
-    simulator shards; the result — matrix, [useful_cycles] and
+(** [make_triplets ~config tpg tests] is the initial reseeding [T] alone:
+    one triplet per ATPG pattern, operands drawn from the seeded RNG
+    stream (a fixed function of [config.seed], independent of everything
+    else).  [build] uses exactly this construction; it is exposed so a
+    warm cache hit — and the trade-off sweep — can rebuild triplets
+    without touching a fault simulator. *)
+val make_triplets : config:config -> Tpg.t -> bool array array -> Triplet.t array
+
+(** [fingerprint ?salt ~tests ~targets tpg ~config] keys the [matrix]
+    stage: the ATPG patterns, target mask, TPG identity and width, and
+    the builder config (cycles, operand mode, seed).  [salt] folds in the
+    upstream lineage — the ATPG-stage fingerprint — so changing how the
+    tests were produced (ATPG config, simulation engine, fault collapsing)
+    misses the cache even when the patterns happen to coincide. *)
+val fingerprint :
+  ?salt:Fingerprint.t ->
+  tests:bool array array -> targets:Bitvec.t -> Tpg.t -> config:config -> Fingerprint.t
+
+(** [build ?pool ?budget ?checkpoint ?store ?fingerprint sim tpg ~tests
+    ~targets ~config] — [tests] is ATPGTS; [targets] selects the fault
+    list F among the simulator's faults.  Matrix columns outside
+    [targets] are left empty (they are not constraints).  Matrix rows are
+    fault-simulated in parallel over [pool] (default: {!Pool.default}) on
+    per-worker simulator shards; the result — matrix, [useful_cycles] and
     [fault_sims] — is bit-identical at every job count.
 
     [checkpoint] names a directory: completed rows are streamed to it in
@@ -56,9 +78,16 @@ type t = {
     already present (same build fingerprint) are restored instead of
     re-simulated, bit-identically.  An expired [budget] stops the build
     at the next row boundary; unfinished rows stay empty and are counted
-    in [rows_skipped], never persisted. *)
+    in [rows_skipped], never persisted.
+
+    [store] memoises the whole stage under [fingerprint] (computed via
+    {!fingerprint} when omitted): a warm hit reconstructs the result with
+    zero fault simulations ([fault_sims = 0]); results with
+    [rows_skipped > 0] are never persisted. *)
 val build :
   ?pool:Pool.t ->
   ?budget:Budget.t ->
   ?checkpoint:string ->
+  ?store:Artifact.store ->
+  ?fingerprint:Fingerprint.t ->
   Fault_sim.t -> Tpg.t -> tests:bool array array -> targets:Bitvec.t -> config:config -> t

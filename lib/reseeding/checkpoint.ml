@@ -1,97 +1,28 @@
 open Reseed_util
 
 let chunk_rows = 16
-let magic = "RSCK"
-let meta_magic = "RSCKMETA"
-let version = 1
+let chunk_kind = "checkpoint-chunk"
+let meta_kind = "checkpoint-meta"
 let meta_name = "META"
-let header_bytes = 40
 
 type t = { dir : string; fingerprint : int64; rows : int; cols : int }
 
 let dir t = t.dir
 
-(* FNV-1a, 64-bit. *)
-let fnv_offset = 0xcbf29ce484222325L
-let fnv_prime = 0x100000001b3L
-let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
-let fnv_string h s =
-  let h = ref h in
-  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
-  !h
-let fnv_bytes h b = fnv_string h (Bytes.unsafe_to_string b)
-let fnv_int h v =
-  (* 63-bit OCaml int, little-endian, 8 bytes *)
-  let h = ref h in
-  for k = 0 to 7 do
-    h := fnv_byte !h ((v lsr (8 * k)) land 0xff)
-  done;
-  !h
-
 let fingerprint ~tests ~targets ~cycles ~seed ~operand_tag ~tpg ~width =
-  let h = fnv_string fnv_offset "reseed-checkpoint-v1" in
-  let h = fnv_int h cycles in
-  let h = fnv_int h seed in
-  let h = fnv_int h width in
-  let h = fnv_string h operand_tag in
-  let h = fnv_string h tpg in
-  let h = fnv_bytes h (Bitvec.to_bytes targets) in
-  let h = fnv_int h (Array.length tests) in
-  Array.fold_left
-    (fun h pat ->
-      let h = fnv_int h (Array.length pat) in
-      Array.fold_left (fun h b -> fnv_byte h (if b then 1 else 0)) h pat)
-    h tests
-
-(* Little-endian scalar codecs over Buffer / string. *)
-let add_u32 b v =
-  for k = 0 to 3 do
-    Buffer.add_char b (Char.chr ((v lsr (8 * k)) land 0xff))
-  done
-
-let add_u64 b v =
-  for k = 0 to 7 do
-    Buffer.add_char b
-      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xff))
-  done
-
-let get_u32 s off =
-  let v = ref 0 in
-  for k = 3 downto 0 do
-    v := (!v lsl 8) lor Char.code s.[off + k]
-  done;
-  !v
-
-let get_u64 s off =
-  let v = ref 0L in
-  for k = 7 downto 0 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + k]))
-  done;
-  !v
-
-let read_file path =
-  try Some (In_channel.with_open_bin path In_channel.input_all)
-  with Sys_error _ -> None
-
-(* Crash-safe write: the file appears under its final name only complete. *)
-let write_file t name data =
-  let path = Filename.concat t.dir name in
-  let tmp = path ^ ".tmp" in
-  try
-    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data);
-    Sys.rename tmp path
-  with Sys_error m -> Error.fail Error.Input_error "checkpoint write failed: %s" m
-
-let meta_payload fingerprint =
-  let b = Buffer.create 20 in
-  Buffer.add_string b meta_magic;
-  add_u32 b version;
-  add_u64 b fingerprint;
-  Buffer.contents b
+  let open Fingerprint in
+  let h = salted "checkpoint" in
+  let h = int h cycles in
+  let h = int h seed in
+  let h = int h width in
+  let h = string h operand_tag in
+  let h = string h tpg in
+  let h = bitvec h targets in
+  patterns h tests
 
 let meta_matches t =
-  match read_file (Filename.concat t.dir meta_name) with
-  | Some s -> String.equal s (meta_payload t.fingerprint)
+  match Artifact.read_opt (Filename.concat t.dir meta_name) with
+  | Some s -> Artifact.decode ~kind:meta_kind ~fingerprint:t.fingerprint s <> None
   | None -> false
 
 let is_chunk_file name =
@@ -104,27 +35,15 @@ let wipe t =
         try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ())
     (try Sys.readdir t.dir with Sys_error _ -> [||])
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    let parent = Filename.dirname dir in
-    if parent <> dir then mkdir_p parent;
-    try Unix.mkdir dir 0o755 with
-    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-    | Unix.Unix_error (e, _, _) ->
-        Error.fail Error.Input_error "cannot create checkpoint directory %s: %s"
-          dir (Unix.error_message e)
-  end
-  else if not (Sys.is_directory dir) then
-    Error.fail Error.Input_error "checkpoint path %s is not a directory" dir
-
 let open_dir ~dir ~fingerprint ~rows ~cols =
-  mkdir_p dir;
+  Artifact.mkdir_p dir;
   let t = { dir; fingerprint; rows; cols } in
   (* A stale fingerprint means the chunks describe a different build
      (other circuit, tests, TPG or config): auto-reset rather than mix. *)
   if not (meta_matches t) then begin
     wipe t;
-    write_file t meta_name (meta_payload fingerprint)
+    Artifact.write_atomic (Filename.concat t.dir meta_name)
+      (Artifact.encode ~kind:meta_kind ~fingerprint "")
   end;
   t
 
@@ -139,62 +58,46 @@ let store t ~lo ~hi ~useful ~row =
   if not (0 <= lo && lo < hi && hi <= t.rows) then
     invalid_arg "Checkpoint.store: row range";
   Metrics.incr m_chunks;
-  let payload = Buffer.create ((hi - lo) * (4 + row_bytes t)) in
+  let payload = Buffer.create (12 + ((hi - lo) * (8 + row_bytes t))) in
+  Artifact.Codec.u32 payload lo;
+  Artifact.Codec.u32 payload hi;
+  Artifact.Codec.u32 payload t.cols;
   for i = lo to hi - 1 do
-    add_u32 payload (useful i);
+    Artifact.Codec.u32 payload (useful i);
     let bits = row i in
     if Bitvec.length bits <> t.cols then invalid_arg "Checkpoint.store: row width";
-    Buffer.add_bytes payload (Bitvec.to_bytes bits)
+    Artifact.Codec.bitvec payload bits
   done;
-  let payload = Buffer.contents payload in
-  let b = Buffer.create (header_bytes + String.length payload) in
-  Buffer.add_string b magic;
-  add_u32 b version;
-  add_u64 b t.fingerprint;
-  add_u32 b lo;
-  add_u32 b hi;
-  add_u32 b t.cols;
-  add_u32 b (String.length payload);
-  add_u64 b (fnv_string fnv_offset payload);
-  Buffer.add_string b payload;
-  write_file t (chunk_name lo hi) (Buffer.contents b)
+  Artifact.write_atomic
+    (Filename.concat t.dir (chunk_name lo hi))
+    (Artifact.encode ~kind:chunk_kind ~fingerprint:t.fingerprint
+       (Buffer.contents payload))
 
 (* Parse one chunk file; any structural defect — wrong magic or version,
    foreign fingerprint, short or oversized file, bad checksum — makes the
    whole chunk invalid.  [None] here never aborts a resume: the caller
    just re-simulates those rows. *)
 let parse_chunk t s =
-  let rb = row_bytes t in
-  if String.length s < header_bytes then None
-  else if String.sub s 0 4 <> magic then None
-  else if get_u32 s 4 <> version then None
-  else if get_u64 s 8 <> t.fingerprint then None
-  else begin
-    let lo = get_u32 s 16 and hi = get_u32 s 20 in
-    let cols = get_u32 s 24 and payload_len = get_u32 s 28 in
-    let checksum = get_u64 s 32 in
-    if not (0 <= lo && lo < hi && hi <= t.rows) then None
-    else if cols <> t.cols then None
-    else if payload_len <> (hi - lo) * (4 + rb) then None
-    else if String.length s <> header_bytes + payload_len then None
-    else begin
-      let payload = String.sub s header_bytes payload_len in
-      if fnv_string fnv_offset payload <> checksum then None
-      else begin
-        let rows =
-          Array.init (hi - lo) (fun k ->
-              let off = k * (4 + rb) in
-              let useful = get_u32 payload off in
-              let bits =
-                Bitvec.of_bytes t.cols
-                  (Bytes.of_string (String.sub payload (off + 4) rb))
-              in
-              (useful, bits))
-        in
-        Some (lo, rows)
-      end
-    end
-  end
+  match Artifact.decode ~kind:chunk_kind ~fingerprint:t.fingerprint s with
+  | None -> None
+  | Some payload -> (
+      let r = Artifact.Codec.reader payload in
+      try
+        let lo = Artifact.Codec.get_u32 r in
+        let hi = Artifact.Codec.get_u32 r in
+        let cols = Artifact.Codec.get_u32 r in
+        if not (0 <= lo && lo < hi && hi <= t.rows && cols = t.cols) then None
+        else begin
+          let rows =
+            Array.init (hi - lo) (fun _ ->
+                let useful = Artifact.Codec.get_u32 r in
+                let bits = Artifact.Codec.get_bitvec r in
+                if Bitvec.length bits <> t.cols then raise Artifact.Codec.Malformed;
+                (useful, bits))
+          in
+          if Artifact.Codec.at_end r then Some (lo, rows) else None
+        end
+      with Artifact.Codec.Malformed -> None)
 
 let restore t f =
   let delivered = ref 0 in
@@ -203,7 +106,7 @@ let restore t f =
   Array.iter
     (fun name ->
       if is_chunk_file name then
-        match read_file (Filename.concat t.dir name) with
+        match Artifact.read_opt (Filename.concat t.dir name) with
         | None -> ()
         | Some s -> (
             match try parse_chunk t s with _ -> None with

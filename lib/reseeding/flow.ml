@@ -74,27 +74,241 @@ let truncate_solution sim tpg ~triplets ~targets rows =
     rows;
   (List.rev !final, active, !dropped)
 
-let run ?(config = default_config) ?pool ?budget ?checkpoint sim tpg ~tests ~targets =
-  Trace.with_span "flow.run" ~args:[ ("tpg", tpg.Tpg.name) ] @@ fun () ->
+(* ------------------------------------------------------------------ *)
+(* Stage fingerprints and payload codecs for the covering stages.  The
+   matrix-stage fingerprint [fpm] is the lineage root: reduce, solve and
+   truncate keys all chain from it, so any upstream change — tests,
+   targets, TPG, builder config, or the ATPG-stage salt — invalidates
+   every downstream artifact at once. *)
+
+let reduce_fingerprint ~fpm ~reduce ~row_weights =
+  let open Fingerprint in
+  let h = salted "reduce" in
+  let h = int64 h fpm in
+  let h = bool h reduce.Reduce.row_dominance in
+  let h = bool h reduce.Reduce.col_dominance in
+  let h = bool h reduce.Reduce.essentials in
+  let h = int h reduce.Reduce.col_dominance_limit in
+  option (array float) h row_weights
+
+let solve_fingerprint ~base ~method_ ~row_weights =
+  let open Fingerprint in
+  let h = salted "solve" in
+  let h = int64 h base in
+  let h = string h (Solution.method_name method_) in
+  option (array float) h row_weights
+
+let truncate_fingerprint ~fpm ~rows =
+  let open Fingerprint in
+  let h = salted "truncate" in
+  let h = int64 h fpm in
+  list int h rows
+
+let encode_reduce (r : Reduce.result) =
+  let b = Buffer.create 256 in
+  Artifact.Codec.int_list b r.Reduce.necessary;
+  Artifact.Codec.int_list b r.Reduce.remaining_rows;
+  Artifact.Codec.int_list b r.Reduce.remaining_cols;
+  Artifact.Codec.vint b r.Reduce.iterations;
+  Artifact.Codec.vint b r.Reduce.rows_dominated;
+  Artifact.Codec.vint b r.Reduce.cols_dominated;
+  Some (Buffer.contents b)
+
+let decode_reduce r =
+  let necessary = Artifact.Codec.get_int_list r in
+  let remaining_rows = Artifact.Codec.get_int_list r in
+  let remaining_cols = Artifact.Codec.get_int_list r in
+  let iterations = Artifact.Codec.get_vint r in
+  let rows_dominated = Artifact.Codec.get_vint r in
+  let cols_dominated = Artifact.Codec.get_vint r in
+  {
+    Reduce.necessary;
+    remaining_rows;
+    remaining_cols;
+    iterations;
+    rows_dominated;
+    cols_dominated;
+  }
+
+(* Only proven-complete end-games are worth reusing; an incumbent cut
+   short by a budget must be recomputed next time (maybe with more time). *)
+let encode_solve (selected, nodes, stop, optimal) =
+  if stop <> Ilp.Complete then None
+  else begin
+    let b = Buffer.create 64 in
+    Artifact.Codec.int_list b selected;
+    Artifact.Codec.vint b nodes;
+    Artifact.Codec.u32 b (if optimal then 1 else 0);
+    Some (Buffer.contents b)
+  end
+
+let decode_solve r =
+  let selected = Artifact.Codec.get_int_list r in
+  let nodes = Artifact.Codec.get_vint r in
+  let optimal =
+    match Artifact.Codec.get_u32 r with
+    | 0 -> false
+    | 1 -> true
+    | _ -> raise Artifact.Codec.Malformed
+  in
+  (selected, nodes, Ilp.Complete, optimal)
+
+let encode_truncate ~targets (final, missed, dropped) =
+  if Bitvec.length missed <> Bitvec.length targets then None
+  else begin
+    let b = Buffer.create 256 in
+    Artifact.Codec.vint b dropped;
+    Artifact.Codec.bitvec b missed;
+    Artifact.Codec.u32 b (List.length final);
+    List.iter
+      (fun t ->
+        Artifact.Codec.word b t.Triplet.seed;
+        Artifact.Codec.word b t.Triplet.operand;
+        Artifact.Codec.u32 b t.Triplet.cycles)
+      final;
+    Some (Buffer.contents b)
+  end
+
+let decode_truncate ~targets r =
+  let dropped = Artifact.Codec.get_vint r in
+  let missed = Artifact.Codec.get_bitvec r in
+  if Bitvec.length missed <> Bitvec.length targets then
+    raise Artifact.Codec.Malformed;
+  let n = Artifact.Codec.get_u32 r in
+  let final =
+    List.init n (fun _ ->
+        let seed = Artifact.Codec.get_word r in
+        let operand = Artifact.Codec.get_word r in
+        let cycles = Artifact.Codec.get_u32 r in
+        try Triplet.make ~seed ~operand ~cycles
+        with Invalid_argument _ -> raise Artifact.Codec.Malformed)
+  in
+  (final, missed, dropped)
+
+(* Mirror of [Solution.solve] with each expensive leg memoised in the
+   artifact store.  The stats record is assembled field-for-field the
+   same way, so staged and plain runs are bit-identical. *)
+let staged_solve ~method_ ~reduce ?row_weights ?budget store fpm m =
+  Trace.with_span "solution.solve"
+    ~args:[ ("method", Solution.method_name method_) ]
+  @@ fun () ->
+  match method_ with
+  | Solution.No_reduction_exact ->
+      let fp = solve_fingerprint ~base:fpm ~method_ ~row_weights in
+      let selected, nodes, stop, optimal =
+        Artifact.cached (Some store) ~stage:"solve" ~fp ~encode:encode_solve
+          ~decode:decode_solve
+        @@ fun () ->
+        let r = Ilp.solve ?weights:row_weights ?budget m in
+        (r.Ilp.selected, r.Ilp.nodes_explored, r.Ilp.stop_reason, r.Ilp.optimal)
+      in
+      {
+        Solution.rows = selected;
+        stats =
+          {
+            Solution.initial_rows = Matrix.rows m;
+            initial_cols = Matrix.cols m;
+            necessary = [];
+            reduced_rows = Matrix.rows m;
+            reduced_cols = Matrix.cols m;
+            from_solver = selected;
+            reduction_iterations = 0;
+            solver_nodes = nodes;
+            solver_optimal = optimal;
+            solver_stop = stop;
+            degraded = Solution.is_degraded method_ stop;
+          };
+      }
+  | Solution.Exact | Solution.Greedy_only ->
+      let fp_reduce = reduce_fingerprint ~fpm ~reduce ~row_weights in
+      let red =
+        Artifact.cached (Some store) ~stage:"reduce" ~fp:fp_reduce
+          ~encode:encode_reduce ~decode:decode_reduce
+        @@ fun () -> Reduce.run ~config:reduce ?row_weights m
+      in
+      (* The residual is cheap to rebuild and deterministic in (m, red),
+         so it is recomputed rather than stored. *)
+      let residual, row_map, _col_map = Reduce.residual m red in
+      let fp_solve = solve_fingerprint ~base:fp_reduce ~method_ ~row_weights in
+      let from_solver, nodes, stop, optimal =
+        Artifact.cached (Some store) ~stage:"solve" ~fp:fp_solve
+          ~encode:encode_solve ~decode:decode_solve
+        @@ fun () ->
+        if Matrix.rows residual = 0 || Matrix.cols residual = 0 then
+          ([], 0, Ilp.Complete, true)
+        else
+          match method_ with
+          | Solution.Greedy_only ->
+              let picks = Greedy.solve residual in
+              (List.map (fun ri -> row_map.(ri)) picks, 0, Ilp.Complete, false)
+          | Solution.Exact | Solution.No_reduction_exact ->
+              let weights =
+                Option.map
+                  (fun w -> Array.map (fun ri -> w.(ri)) row_map)
+                  row_weights
+              in
+              let r = Ilp.solve ?weights ?budget residual in
+              ( List.map (fun ri -> row_map.(ri)) r.Ilp.selected,
+                r.Ilp.nodes_explored,
+                r.Ilp.stop_reason,
+                r.Ilp.optimal )
+      in
+      let rows = List.sort_uniq compare (red.Reduce.necessary @ from_solver) in
+      {
+        Solution.rows;
+        stats =
+          {
+            Solution.initial_rows = Matrix.rows m;
+            initial_cols = Matrix.cols m;
+            necessary = red.Reduce.necessary;
+            reduced_rows = Matrix.rows residual;
+            reduced_cols = Matrix.cols residual;
+            from_solver;
+            reduction_iterations = red.Reduce.iterations;
+            solver_nodes = nodes;
+            solver_optimal = optimal;
+            solver_stop = stop;
+            degraded = Solution.is_degraded method_ stop;
+          };
+      }
+
+let run_prebuilt ?(config = default_config) ?budget ?store ?fingerprint:fpm sim tpg
+    ~initial ~targets =
   let t0 = Unix.gettimeofday () in
   let sims_before = Fault_sim.sims_performed sim in
-  let initial =
-    Builder.build ?pool ?budget ?checkpoint sim tpg ~tests ~targets
-      ~config:config.builder
-  in
   let row_weights =
     match config.objective with
     | Min_triplets -> None
     | Min_test_length ->
         Some (Array.map float_of_int initial.Builder.useful_cycles)
   in
+  (* A matrix with skipped rows differs from what its fingerprint
+     promises: neither read nor write any downstream artifact for it. *)
+  let store =
+    if initial.Builder.rows_skipped > 0 then None
+    else match (store, fpm) with Some st, Some _ -> Some st | _ -> None
+  in
   let solution =
-    Solution.solve ~method_:config.method_ ~reduce_config:config.reduce
-      ?row_weights ?budget initial.Builder.matrix
+    match (store, fpm) with
+    | Some st, Some fpm ->
+        staged_solve ~method_:config.method_ ~reduce:config.reduce ?row_weights
+          ?budget st fpm initial.Builder.matrix
+    | _ ->
+        Solution.solve ~method_:config.method_ ~reduce_config:config.reduce
+          ?row_weights ?budget initial.Builder.matrix
   in
   let final_triplets, missed, dropped =
-    truncate_solution sim tpg ~triplets:initial.Builder.triplets ~targets
-      solution.Solution.rows
+    let compute () =
+      truncate_solution sim tpg ~triplets:initial.Builder.triplets ~targets
+        solution.Solution.rows
+    in
+    match (store, fpm) with
+    | Some st, Some fpm when not solution.Solution.stats.Solution.degraded ->
+        let fp = truncate_fingerprint ~fpm ~rows:solution.Solution.rows in
+        Artifact.cached (Some st) ~stage:"truncate" ~fp
+          ~encode:(encode_truncate ~targets) ~decode:(decode_truncate ~targets)
+          compute
+    | _ -> compute ()
   in
   let covered = Bitvec.count targets - Bitvec.count missed in
   let test_length =
@@ -120,12 +334,30 @@ let run ?(config = default_config) ?pool ?budget ?checkpoint sim tpg ~tests ~tar
     test_length;
     uniform_test_length = List.length solution.Solution.rows * uniform_cycles;
     coverage_pct = Stats.pct covered (max 1 (Bitvec.count targets));
-    fault_sims = Fault_sim.sims_performed sim - sims_before;
+    fault_sims =
+      initial.Builder.fault_sims + (Fault_sim.sims_performed sim - sims_before);
     elapsed_s = Unix.gettimeofday () -. t0;
     degraded =
       solution.Solution.stats.Solution.degraded || initial.Builder.rows_skipped > 0;
     stop_reason = Option.join (Option.map Budget.stop_reason budget);
   }
+
+let run ?(config = default_config) ?pool ?budget ?checkpoint ?store ?fingerprint sim
+    tpg ~tests ~targets =
+  Trace.with_span "flow.run" ~args:[ ("tpg", tpg.Tpg.name) ] @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let fpm =
+    Builder.fingerprint ?salt:fingerprint ~tests ~targets tpg ~config:config.builder
+  in
+  let initial =
+    Builder.build ?pool ?budget ?checkpoint ?store ~fingerprint:fpm sim tpg ~tests
+      ~targets ~config:config.builder
+  in
+  let r = run_prebuilt ~config ?budget ?store ~fingerprint:fpm sim tpg ~initial ~targets in
+  (* The prebuilt leg timed itself; report the whole flow, matrix build
+     included.  [fault_sims] already covers both (it is counted from
+     [initial.fault_sims] plus the truncation sweeps). *)
+  { r with elapsed_s = Unix.gettimeofday () -. t0 }
 
 let verify sim tpg r =
   let all_patterns =

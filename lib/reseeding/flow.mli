@@ -71,22 +71,51 @@ val truncate_solution :
   int list ->
   Triplet.t list * Bitvec.t * int
 
-(** [run ?config ?pool ?budget ?checkpoint sim tpg ~tests ~targets]
-    executes the whole flow.  [tests] is the deterministic test set
-    (ATPGTS), [targets] the fault list F.  [pool] is forwarded to the
-    parallel Detection-Matrix build ({!Builder.build}), [budget] to every
-    expensive phase (matrix build and covering solver), [checkpoint] to
-    the matrix build for crash-safe resume.  On budget expiry the result
-    is valid but possibly partial: see [degraded], [coverage_pct] and
-    {!Builder.t.rows_skipped}. *)
+(** [run ?config ?pool ?budget ?checkpoint ?store ?fingerprint sim tpg
+    ~tests ~targets] executes the whole flow.  [tests] is the
+    deterministic test set (ATPGTS), [targets] the fault list F.  [pool]
+    is forwarded to the parallel Detection-Matrix build
+    ({!Builder.build}), [budget] to every expensive phase (matrix build
+    and covering solver), [checkpoint] to the matrix build for crash-safe
+    resume.  On budget expiry the result is valid but possibly partial:
+    see [degraded], [coverage_pct] and {!Builder.t.rows_skipped}.
+
+    [store] memoises each stage — [matrix], [reduce], [solve],
+    [truncate] — in the artifact store, keyed by {!Builder.fingerprint}
+    salted with [fingerprint] (the upstream ATPG-stage lineage, see
+    {!Suite.prepared}).  A fully warm run touches no fault simulator and
+    no solver; results are bit-identical to the uncached path.  Degraded
+    results are never persisted. *)
 val run :
   ?config:config ->
   ?pool:Pool.t ->
   ?budget:Budget.t ->
   ?checkpoint:string ->
+  ?store:Artifact.store ->
+  ?fingerprint:Fingerprint.t ->
   Fault_sim.t ->
   Tpg.t ->
   tests:bool array array ->
+  targets:Bitvec.t ->
+  result
+
+(** [run_prebuilt ?config ?budget ?store ?fingerprint sim tpg ~initial
+    ~targets] is the back half of {!run} — covering, end-game and
+    Section-4 truncation — over an already-built {!Builder.t}.  The
+    trade-off sweep uses it to share one matrix build across grid points.
+    [fingerprint] is the {e matrix-stage} fingerprint of [initial]
+    (i.e. {!Builder.fingerprint} of the inputs that produced it); when
+    both it and [store] are present the reduce/solve/truncate stages are
+    memoised exactly as in {!run}.  [elapsed_s] and [fault_sims] cover
+    this half only, plus [initial.fault_sims]. *)
+val run_prebuilt :
+  ?config:config ->
+  ?budget:Budget.t ->
+  ?store:Artifact.store ->
+  ?fingerprint:Fingerprint.t ->
+  Fault_sim.t ->
+  Tpg.t ->
+  initial:Builder.t ->
   targets:Bitvec.t ->
   result
 

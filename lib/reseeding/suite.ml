@@ -12,19 +12,124 @@ type prepared = {
   targets : Bitvec.t;
   atpg : Atpg.result;
   collapse : Collapse.t option;
+  fingerprint : Fingerprint.t;
+  store : Artifact.store option;
 }
 
-let prepare_circuit ?atpg_config ?sim_engine ?(collapse = false) ?budget circuit =
+(* The netlist itself is hashed node by node, so editing a circuit file —
+   not just renaming it — invalidates every downstream artifact. *)
+let circuit_fingerprint c =
+  let open Fingerprint in
+  let h = salted "circuit" in
+  let h = string h (Circuit.name c) in
+  let h =
+    Array.fold_left
+      (fun h (n : Circuit.node) ->
+        let h = string h (Gate.kind_to_string n.Circuit.kind) in
+        let h = array int h n.Circuit.fanins in
+        string h n.Circuit.label)
+      h c.Circuit.nodes
+  in
+  let h = array int h c.Circuit.inputs in
+  array int h c.Circuit.outputs
+
+let atpg_engine_tag = function
+  | Atpg.Podem_engine -> "podem"
+  | Atpg.Sat_engine -> "sat"
+
+(* The ATPG-stage key digests everything the prepared workload depends
+   on: the netlist, the full ATPG config, the fault-simulation engine and
+   the collapse mode.  It doubles as the lineage salt for every later
+   stage of this circuit's pipeline. *)
+let atpg_fingerprint ?sim_engine ~config ~collapse circuit =
+  let open Fingerprint in
+  let h = salted "atpg" in
+  let h = int64 h (circuit_fingerprint circuit) in
+  let h = int h config.Atpg.seed in
+  let h = int h config.Atpg.max_random_patterns in
+  let h = int h config.Atpg.max_backtracks in
+  let h = bool h config.Atpg.compaction in
+  let h = bool h config.Atpg.use_random_phase in
+  let h = string h (atpg_engine_tag config.Atpg.engine) in
+  let h =
+    string h
+      (Fault_sim.engine_name (Option.value sim_engine ~default:Fault_sim.Hybrid))
+  in
+  bool h collapse
+
+let encode_atpg (r : Atpg.result) =
+  if r.Atpg.stopped_early then None
+  else begin
+    let b = Buffer.create 4096 in
+    Artifact.Codec.patterns b r.Atpg.tests;
+    Artifact.Codec.bitvec b r.Atpg.detected;
+    Artifact.Codec.int_list b r.Atpg.untestable;
+    Artifact.Codec.int_list b r.Atpg.aborted;
+    Artifact.Codec.vint b r.Atpg.random_patterns_tried;
+    Artifact.Codec.vint b r.Atpg.podem_stats.Podem.backtracks;
+    Artifact.Codec.vint b r.Atpg.podem_stats.Podem.decisions;
+    Artifact.Codec.vint b r.Atpg.dropped_by_compaction;
+    Some (Buffer.contents b)
+  end
+
+let decode_atpg ~width ~fault_count r =
+  let tests = Artifact.Codec.get_patterns r in
+  Array.iter
+    (fun p -> if Array.length p <> width then raise Artifact.Codec.Malformed)
+    tests;
+  let detected = Artifact.Codec.get_bitvec r in
+  if Bitvec.length detected <> fault_count then raise Artifact.Codec.Malformed;
+  let untestable = Artifact.Codec.get_int_list r in
+  let aborted = Artifact.Codec.get_int_list r in
+  let random_patterns_tried = Artifact.Codec.get_vint r in
+  let podem_stats = Podem.new_stats () in
+  podem_stats.Podem.backtracks <- Artifact.Codec.get_vint r;
+  podem_stats.Podem.decisions <- Artifact.Codec.get_vint r;
+  let dropped_by_compaction = Artifact.Codec.get_vint r in
+  {
+    Atpg.tests;
+    detected;
+    untestable;
+    aborted;
+    random_patterns_tried;
+    podem_stats;
+    dropped_by_compaction;
+    stopped_early = false;
+  }
+
+let prepare_circuit ?atpg_config ?sim_engine ?(collapse = false) ?budget ?store
+    circuit =
   Trace.with_span "suite.prepare" ~args:[ ("circuit", Circuit.name circuit) ]
   @@ fun () ->
+  let config = Option.value atpg_config ~default:Atpg.default_config in
+  let fingerprint = atpg_fingerprint ?sim_engine ~config ~collapse circuit in
   let classes =
     if collapse then
       Some (Trace.with_span "collapse.compute" @@ fun () -> Collapse.compute circuit)
     else None
   in
-  let faults = Option.map Collapse.reps classes in
-  let sim, atpg =
-    Atpg.run_circuit ?config:atpg_config ?sim_engine ?faults ?budget circuit
+  let faults =
+    match classes with Some cl -> Collapse.reps cl | None -> Fault.all circuit
+  in
+  (* On a warm hit the ATPG never runs, so the simulator it would have
+     returned is rebuilt directly — same circuit, fault order and engine,
+     hence the same detection behaviour. *)
+  let sim_ref = ref None in
+  let atpg =
+    Artifact.cached store ~stage:"atpg" ~fp:fingerprint ~encode:encode_atpg
+      ~decode:
+        (decode_atpg
+           ~width:(Circuit.input_count circuit)
+           ~fault_count:(Array.length faults))
+    @@ fun () ->
+    let sim, r = Atpg.run_circuit ~config ?sim_engine ~faults ?budget circuit in
+    sim_ref := Some sim;
+    r
+  in
+  let sim =
+    match !sim_ref with
+    | Some s -> s
+    | None -> Fault_sim.create ?engine:sim_engine circuit faults
   in
   {
     circuit;
@@ -33,10 +138,12 @@ let prepare_circuit ?atpg_config ?sim_engine ?(collapse = false) ?budget circuit
     targets = atpg.Atpg.detected;
     atpg;
     collapse = classes;
+    fingerprint;
+    store;
   }
 
-let prepare ?scale_factor ?atpg_config ?sim_engine ?collapse ?budget name =
-  prepare_circuit ?atpg_config ?sim_engine ?collapse ?budget
+let prepare ?scale_factor ?atpg_config ?sim_engine ?collapse ?budget ?store name =
+  prepare_circuit ?atpg_config ?sim_engine ?collapse ?budget ?store
     (Library.load ?scale_factor name)
 
 (* Universe-level coverage implied by a detection set over the prepared
@@ -81,9 +188,51 @@ let cached_flow p tpg config =
   match Hashtbl.find_opt flow_cache key with
   | Some r -> r
   | None ->
-      let r = Flow.run ~config p.sim tpg ~tests:p.tests ~targets:p.targets in
+      let r =
+        Flow.run ~config ?store:p.store ~fingerprint:p.fingerprint p.sim tpg
+          ~tests:p.tests ~targets:p.targets
+      in
       Hashtbl.replace flow_cache key r;
       r
+
+let gatsby_fingerprint p tpg ~gconfig ~seed =
+  let open Fingerprint in
+  let h = salted "gatsby" in
+  let h = int64 h p.fingerprint in
+  let h = string h tpg.Tpg.name in
+  let h = int h gconfig.Gatsby.cycles in
+  let h = int h gconfig.Gatsby.max_rounds in
+  let h = int h gconfig.Gatsby.ga.Ga.population in
+  let h = int h gconfig.Gatsby.ga.Ga.generations in
+  int h seed
+
+(* Table 1 only reports three numbers from the GA leg; caching them (not
+   the triplets) is what makes a warm table1 rerun skip the most
+   expensive uncached phase. *)
+let gatsby_summary p tpg ~gconfig ~seed =
+  Artifact.cached p.store ~stage:"gatsby"
+    ~fp:(gatsby_fingerprint p tpg ~gconfig ~seed)
+    ~encode:(fun (triplets, test_length, fault_sims, stopped_early) ->
+      if stopped_early then None
+      else begin
+        let b = Buffer.create 32 in
+        Artifact.Codec.vint b triplets;
+        Artifact.Codec.vint b test_length;
+        Artifact.Codec.vint b fault_sims;
+        Some (Buffer.contents b)
+      end)
+    ~decode:(fun r ->
+      let triplets = Artifact.Codec.get_vint r in
+      let test_length = Artifact.Codec.get_vint r in
+      let fault_sims = Artifact.Codec.get_vint r in
+      (triplets, test_length, fault_sims, false))
+  @@ fun () ->
+  let rng = Rng.create seed in
+  let g = Gatsby.run ~config:gconfig p.sim tpg ~rng ~targets:p.targets in
+  ( List.length g.Gatsby.triplets,
+    g.Gatsby.test_length,
+    g.Gatsby.fault_sims,
+    g.Gatsby.stopped_early )
 
 let table1_row ?cycles ?(with_gatsby = true) p =
   let config = flow_config_with_cycles cycles in
@@ -99,8 +248,7 @@ let table1_row ?cycles ?(with_gatsby = true) p =
                 Gatsby.cycles = config.Flow.builder.Builder.cycles;
               }
             in
-            let rng = Rng.create 1234 in
-            Some (Gatsby.run ~config:gconfig p.sim tpg ~rng ~targets:p.targets)
+            Some (gatsby_summary p tpg ~gconfig ~seed:1234)
           end
           else None
         in
@@ -113,9 +261,9 @@ let table1_row ?cycles ?(with_gatsby = true) p =
               (fun acc t -> acc + Triplet.storage_bits t)
               0 r.Flow.final_triplets;
           sc_fault_sims = r.Flow.fault_sims;
-          gatsby_triplets = Option.map (fun g -> List.length g.Gatsby.triplets) gatsby;
-          gatsby_test_length = Option.map (fun g -> g.Gatsby.test_length) gatsby;
-          gatsby_fault_sims = Option.map (fun g -> g.Gatsby.fault_sims) gatsby;
+          gatsby_triplets = Option.map (fun (t, _, _, _) -> t) gatsby;
+          gatsby_test_length = Option.map (fun (_, l, _, _) -> l) gatsby;
+          gatsby_fault_sims = Option.map (fun (_, _, s, _) -> s) gatsby;
         })
       (paper_tpgs p)
   in
@@ -165,7 +313,8 @@ let figure2 ?grid p tpg =
   let grid =
     match grid with Some g -> g | None -> Tradeoff.default_grid ~max_cycles:256
   in
-  Tradeoff.sweep p.sim tpg ~tests:p.tests ~targets:p.targets ~grid
+  Tradeoff.sweep ?store:p.store ~fingerprint:p.fingerprint p.sim tpg ~tests:p.tests
+    ~targets:p.targets ~grid
 
 let table1_table rows =
   let t =

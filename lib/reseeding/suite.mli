@@ -20,7 +20,20 @@ type prepared = {
   collapse : Collapse.t option;
       (** class structure when prepared with [~collapse:true]: [sim] then
           runs over the class representatives only *)
+  fingerprint : Fingerprint.t;
+      (** the ATPG-stage fingerprint — netlist, ATPG config, simulation
+          engine and collapse mode.  Lineage salt for every downstream
+          stage key of this workload. *)
+  store : Artifact.store option;
+      (** the artifact store the workload was prepared against; threaded
+          to every flow run on this workload *)
 }
+
+(** [circuit_fingerprint c] hashes the netlist structurally — every
+    node's kind, fanins and label, plus the PI/PO lists — so editing a
+    circuit (not merely renaming it) changes the fingerprint.  Exposed
+    for cache-invalidation tests. *)
+val circuit_fingerprint : Circuit.t -> Fingerprint.t
 
 (** [prepare ?scale_factor ?atpg_config ?sim_engine ?collapse name] loads
     a catalog circuit and runs the ATPG front-end once.  [sim_engine]
@@ -29,23 +42,30 @@ type prepared = {
     one representative per structural fault class ({!Collapse}),
     shrinking every downstream fault-simulation.  [budget] bounds the
     ATPG front-end (see {!Atpg.run}): on expiry the test set is partial
-    but sound, and [targets] shrinks accordingly. *)
+    but sound, and [targets] shrinks accordingly.
+
+    [store] memoises the ATPG stage: a warm prepare skips test
+    generation entirely (the simulator is rebuilt, the result decoded),
+    keyed by the [fingerprint] described on {!prepared}.  Budget-cut
+    (partial) ATPG results are never persisted. *)
 val prepare :
   ?scale_factor:int ->
   ?atpg_config:Atpg.config ->
   ?sim_engine:Fault_sim.engine ->
   ?collapse:bool ->
   ?budget:Budget.t ->
+  ?store:Artifact.store ->
   string ->
   prepared
 
-(** [prepare_circuit ?atpg_config ?sim_engine ?collapse ?budget c] —
-    same, for an arbitrary circuit. *)
+(** [prepare_circuit ?atpg_config ?sim_engine ?collapse ?budget ?store c]
+    — same, for an arbitrary circuit. *)
 val prepare_circuit :
   ?atpg_config:Atpg.config ->
   ?sim_engine:Fault_sim.engine ->
   ?collapse:bool ->
   ?budget:Budget.t ->
+  ?store:Artifact.store ->
   Circuit.t ->
   prepared
 

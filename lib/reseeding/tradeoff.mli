@@ -16,14 +16,27 @@ type point = {
   test_length : int;  (** truncated global test length *)
 }
 
-(** [sweep ?flow_config ?pool sim tpg ~tests ~targets ~grid] runs one
-    flow per grid entry (ascending) and returns one point per entry.
-    Grid points run in parallel over [pool] (default: {!Pool.default}) on
-    per-worker simulator shards; the series is bit-identical at every job
-    count. *)
+(** [sweep ?flow_config ?pool ?store ?fingerprint sim tpg ~tests ~targets
+    ~grid] computes one point per grid entry (ascending).
+
+    A T-cycle burst is a prefix of the 2T-cycle burst from the same
+    triplet, so the sweep fault-simulates each row {e once} at
+    [max grid], records every fault's first-detection index, and derives
+    each shorter point's detection matrix by thresholding — identical, bit
+    for bit, to running the full flow per point, at a fraction of the
+    injections.  Points then run the covering half in parallel over
+    [pool] (default: {!Pool.default}) on per-worker simulator shards; the
+    series is bit-identical at every job count.
+
+    [store] caches the shared first-detection table (stage [sweep]) and
+    the per-point covering stages, keyed off [fingerprint] (the upstream
+    ATPG lineage) so points share artifacts with standalone runs at the
+    same evolution length. *)
 val sweep :
   ?flow_config:Flow.config ->
   ?pool:Pool.t ->
+  ?store:Artifact.store ->
+  ?fingerprint:Fingerprint.t ->
   Fault_sim.t ->
   Tpg.t ->
   tests:bool array array ->
@@ -32,7 +45,9 @@ val sweep :
   point list
 
 (** [default_grid ~max_cycles] is a geometric grid from 8 up to
-    [max_cycles]. *)
+    [max_cycles]; [\[max_cycles\]] itself when that is below 8 (the old
+    behaviour was a silently empty grid).  Raises [Invalid_argument] when
+    [max_cycles < 1]. *)
 val default_grid : max_cycles:int -> int list
 
 (** [render points] draws the trade-off as a small ASCII chart plus the

@@ -1,8 +1,19 @@
 open Reseed_util
 
-type config = { row_dominance : bool; col_dominance : bool; essentials : bool }
+type config = {
+  row_dominance : bool;
+  col_dominance : bool;
+  essentials : bool;
+  col_dominance_limit : int;
+}
 
-let default_config = { row_dominance = true; col_dominance = true; essentials = true }
+let default_config =
+  {
+    row_dominance = true;
+    col_dominance = true;
+    essentials = true;
+    col_dominance_limit = 6000;
+  }
 
 type result = {
   necessary : int list;
@@ -12,11 +23,6 @@ type result = {
   rows_dominated : int;
   cols_dominated : int;
 }
-
-(* Column-dominance comparisons are quadratic in active columns; beyond
-   this many columns the pass is skipped for the iteration (essentiality
-   and row dominance will usually shrink the instance below it). *)
-let col_dominance_limit = 6000
 
 let m_iterations =
   Metrics.counter ~help:"reduction fixpoint iterations" "reduce_iterations"
@@ -32,6 +38,11 @@ let m_cols_dedup =
 
 let m_cols_dom =
   Metrics.counter ~help:"columns dropped by column dominance" "reduce_cols_dominated"
+
+let m_coldom_skipped =
+  Metrics.counter
+    ~help:"column-dominance passes skipped (instance over the column limit)"
+    "reduce_coldom_skipped"
 
 let run ?(config = default_config) ?row_weights m =
   let n_rows = Matrix.rows m and n_cols = Matrix.cols m in
@@ -175,7 +186,20 @@ let run ?(config = default_config) ?row_weights m =
     Trace.with_span "reduce.col_dominance" @@ fun () ->
     let cols = Array.of_list (active_cols ()) in
     let n = Array.length cols in
-    if n > col_dominance_limit then false
+    (* The comparisons below are quadratic in active columns; beyond the
+       configured limit the pass is skipped for the iteration
+       (essentiality and row dominance will usually shrink the instance
+       below it). *)
+    if n > config.col_dominance_limit then begin
+      Metrics.incr m_coldom_skipped;
+      Trace.instant "reduce.col_dominance_skipped"
+        ~args:
+          [
+            ("cols", string_of_int n);
+            ("limit", string_of_int config.col_dominance_limit);
+          ];
+      false
+    end
     else begin
       let changed = ref false in
       let counts =

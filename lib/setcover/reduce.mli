@@ -20,6 +20,11 @@ type config = {
   row_dominance : bool;
   col_dominance : bool;
   essentials : bool;
+  col_dominance_limit : int;
+      (** Column dominance is quadratic in active columns; when an
+          iteration sees more than this many the pass is skipped for that
+          iteration (counted by the [reduce_coldom_skipped] metric and a
+          [reduce.col_dominance_skipped] trace instant).  Default 6000. *)
 }
 
 val default_config : config

@@ -10,6 +10,16 @@ open Reseed_util
 
 type method_ = Exact | Greedy_only | No_reduction_exact
 
+(** [method_name m] is ["exact"], ["greedy"] or ["noreduce"] — a stable
+    tag used on the CLI and as a cache-key component. *)
+val method_name : method_ -> string
+
+(** [is_degraded method_ stop] is [solve]'s degradation contract — an
+    exact method that stopped early delivered an incumbent; [Greedy_only]
+    is never degraded.  Exposed so the staged flow pipeline assembles
+    stats identical to [solve]'s. *)
+val is_degraded : method_ -> Ilp.stop_reason -> bool
+
 type stats = {
   initial_rows : int;
   initial_cols : int;

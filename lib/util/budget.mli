@@ -25,8 +25,16 @@ val stop_reason_name : stop_reason -> string
     can still be {!cancel}led).  [deadline_s <= 0.] expires immediately. *)
 val create : ?deadline_s:float -> unit -> t
 
+(** [sub ?deadline_s parent] is a child budget that expires when its own
+    deadline passes {e or} [parent] expires (whichever first, with the
+    parent's reason inherited).  The campaign-runner idiom: one parent
+    token carries the global deadline and the SIGINT handler, each job
+    polls its own child with the per-job allowance. *)
+val sub : ?deadline_s:float -> t -> t
+
 (** [cancel t] trips the budget from any domain.  Idempotent; safe to
-    call from a signal handler. *)
+    call from a signal handler.  Cancelling a parent trips every child
+    at its next poll; cancelling a child leaves the parent live. *)
 val cancel : t -> unit
 
 (** [expired t] — true once the deadline has passed or [cancel] was

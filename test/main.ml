@@ -10,5 +10,5 @@ let () =
    @ Test_sat.suite @ Test_satpg.suite
    @ Test_ga_gatsby.suite @ Test_flow.suite @ Test_fullscan_misr.suite
    @ Test_diagnose.suite @ Test_parallel.suite @ Test_properties.suite
-   @ Test_observability.suite
+   @ Test_observability.suite @ Test_pipeline.suite
    @ Test_robustness.suite @ Test_resilience.suite @ Test_integration.suite)

@@ -1,0 +1,402 @@
+(* Stage pipeline over the content-addressed artifact store: fingerprint
+   invalidation (every upstream knob must miss the cache; identical
+   reruns must hit bit-identically), corruption recovery, cached-vs-plain
+   flow equality, the shared-prefix trade-off sweep, and the batch
+   campaign runner. *)
+
+open Reseed_core
+open Reseed_netlist
+open Reseed_setcover
+open Reseed_tpg
+open Reseed_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let temp_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_store f =
+  incr temp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "reseed-pipeline-%d-%d" (Unix.getpid ()) !temp_counter)
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f (Artifact.open_store dir))
+
+(* Counter deltas around a thunk — counters are global and monotonic. *)
+let metric name = Metrics.value (Metrics.counter name)
+
+let delta name f =
+  let before = metric name in
+  let v = f () in
+  (v, metric name - before)
+
+(* --- fingerprints ----------------------------------------------------- *)
+
+let test_fingerprint_combinators () =
+  let open Fingerprint in
+  let h = salted "test" in
+  check "deterministic" true (equal (string h "a") (string h "a"));
+  check "value sensitive" false (equal (string h "a") (string h "b"));
+  check "salt sensitive" false (equal (string (salted "other") "a") (string h "a"));
+  (* Concatenation must not collide across field boundaries. *)
+  check "length framed" false
+    (equal (string (string h "ab") "c") (string (string h "a") "bc"));
+  check "option framed" false (equal (option int h None) (option int h (Some 0)));
+  check "list framed" false (equal (list int h [ 1; 2 ]) (list int h [ 12 ]));
+  check_int "hex width" 16 (String.length (to_hex h))
+
+let test_circuit_fingerprint () =
+  let a = Suite.circuit_fingerprint (Library.load "c17") in
+  let b = Suite.circuit_fingerprint (Library.load "c17") in
+  let c = Suite.circuit_fingerprint (Library.load "c432") in
+  check "same netlist, same fp" true (Fingerprint.equal a b);
+  check "different netlist, different fp" false (Fingerprint.equal a c)
+
+(* --- artifact store --------------------------------------------------- *)
+
+let enc_str s = Some s
+let dec_str r = Artifact.Codec.get_str r
+
+let test_artifact_cached_and_corruption () =
+  with_store @@ fun store ->
+  let fp = Fingerprint.string (Fingerprint.salted "t") "payload" in
+  let computes = ref 0 in
+  let run () =
+    Artifact.cached (Some store) ~stage:"t" ~fp
+      ~encode:(fun v ->
+        let b = Buffer.create 16 in
+        Artifact.Codec.str b v;
+        enc_str (Buffer.contents b))
+      ~decode:dec_str
+      (fun () ->
+        incr computes;
+        "hello")
+  in
+  let v1, misses = delta "artifact_misses" run in
+  check_string "cold computes" "hello" v1;
+  check_int "cold misses" 1 misses;
+  let v2, hits = delta "artifact_hits" run in
+  check_string "warm decodes" "hello" v2;
+  check_int "warm hits" 1 hits;
+  check_int "computed once" 1 !computes;
+  (* Flip a payload byte: the checksum must reject it and the value must
+     be recomputed and re-persisted. *)
+  let path = Artifact.path store ~stage:"t" fp in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let bad = Bytes.of_string data in
+  let last = Bytes.length bad - 1 in
+  Bytes.set bad last (Char.chr (Char.code (Bytes.get bad last) lxor 0xff));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc bad);
+  let v3, corrupt = delta "artifact_corrupt" run in
+  check_string "corrupt recomputes" "hello" v3;
+  check_int "corruption detected" 1 corrupt;
+  check_int "recomputed" 2 !computes;
+  let v4, hits = delta "artifact_hits" run in
+  check_string "overwritten artifact hits again" "hello" v4;
+  check_int "rewarm hits" 1 hits
+
+(* --- ATPG-stage invalidation ------------------------------------------ *)
+
+let test_atpg_stage_invalidation () =
+  with_store @@ fun store ->
+  let c = Library.load "c17" in
+  let prep ?atpg_config ?sim_engine ?collapse () =
+    Suite.prepare_circuit ?atpg_config ?sim_engine ?collapse ~store c
+  in
+  let p_cold, m = delta "stage_atpg_cache_misses" (fun () -> prep ()) in
+  check_int "cold run misses" 1 m;
+  let p_warm, h = delta "stage_atpg_cache_hits" (fun () -> prep ()) in
+  check_int "identical rerun hits" 1 h;
+  check "warm tests identical" true (p_warm.Suite.tests = p_cold.Suite.tests);
+  check "warm targets identical" true
+    (Bitvec.equal p_warm.Suite.targets p_cold.Suite.targets);
+  check "warm fingerprint identical" true
+    (Fingerprint.equal p_warm.Suite.fingerprint p_cold.Suite.fingerprint);
+  (* Each upstream knob must change the stage key. *)
+  let miss name f =
+    let p, m = delta "stage_atpg_cache_misses" f in
+    check_int (name ^ " misses") 1 m;
+    check (name ^ " changes fingerprint") false
+      (Fingerprint.equal p.Suite.fingerprint p_cold.Suite.fingerprint)
+  in
+  miss "ATPG config" (fun () ->
+      prep
+        ~atpg_config:
+          { Reseed_atpg.Atpg.default_config with Reseed_atpg.Atpg.seed = 99 }
+        ());
+  miss "sim engine" (fun () -> prep ~sim_engine:Reseed_fault.Fault_sim.Event ());
+  miss "collapse mode" (fun () -> prep ~collapse:true ());
+  (* A different netlist misses too (fresh store dir proves nothing —
+     same store, different circuit key). *)
+  let _, m =
+    delta "stage_atpg_cache_misses" (fun () ->
+        Suite.prepare_circuit ~store (Library.load "c432"))
+  in
+  check_int "netlist misses" 1 m
+
+(* --- matrix-stage caching --------------------------------------------- *)
+
+let test_matrix_stage_bit_identity () =
+  with_store @@ fun store ->
+  let p = Suite.prepare_circuit (Library.load "c17") in
+  let tpg = Accumulator.adder (Circuit.input_count p.Suite.circuit) in
+  let build ~cycles =
+    let config = { Builder.default_config with Builder.cycles } in
+    let fp =
+      Builder.fingerprint ~salt:p.Suite.fingerprint ~tests:p.Suite.tests
+        ~targets:p.Suite.targets tpg ~config
+    in
+    Builder.build ~store ~fingerprint:fp p.Suite.sim tpg ~tests:p.Suite.tests
+      ~targets:p.Suite.targets ~config
+  in
+  let cold, m = delta "stage_matrix_cache_misses" (fun () -> build ~cycles:40) in
+  check_int "cold misses" 1 m;
+  let warm, h = delta "stage_matrix_cache_hits" (fun () -> build ~cycles:40) in
+  check_int "warm hits" 1 h;
+  check_int "warm run simulates nothing" 0 warm.Builder.fault_sims;
+  check "matrix bit-identical" true
+    (Array.for_all
+       (fun i ->
+         Bitvec.equal (Matrix.row cold.Builder.matrix i) (Matrix.row warm.Builder.matrix i))
+       (Array.init (Matrix.rows cold.Builder.matrix) Fun.id));
+  check "useful_cycles identical" true
+    (cold.Builder.useful_cycles = warm.Builder.useful_cycles);
+  check "triplets identical" true (cold.Builder.triplets = warm.Builder.triplets);
+  (* Builder cycles participate in the key. *)
+  let _, m = delta "stage_matrix_cache_misses" (fun () -> build ~cycles:80) in
+  check_int "different cycles miss" 1 m
+
+(* --- staged flow vs plain flow ---------------------------------------- *)
+
+let flow_signature r =
+  ( Flow.reseedings r,
+    r.Flow.test_length,
+    r.Flow.uniform_test_length,
+    r.Flow.final_triplets,
+    r.Flow.coverage_pct,
+    r.Flow.degraded )
+
+let test_staged_flow_matches_plain () =
+  with_store @@ fun store ->
+  let p = Suite.prepare_circuit (Library.load "c17") in
+  let tpg = Accumulator.multiplier (Circuit.input_count p.Suite.circuit) in
+  let run ?store ?fingerprint () =
+    Flow.run ?store ?fingerprint p.Suite.sim tpg ~tests:p.Suite.tests
+      ~targets:p.Suite.targets
+  in
+  let plain = run () in
+  let cold = run ~store ~fingerprint:p.Suite.fingerprint () in
+  let warm, sims =
+    delta "fault_sims" (fun () -> run ~store ~fingerprint:p.Suite.fingerprint ())
+  in
+  check "cold = plain" true (flow_signature cold = flow_signature plain);
+  check "warm = plain" true (flow_signature warm = flow_signature plain);
+  check_int "fully warm run simulates nothing" 0 sims;
+  check "verifies" true (Flow.verify p.Suite.sim tpg warm)
+
+(* --- trade-off sweep --------------------------------------------------- *)
+
+let test_sweep_matches_per_point_runs () =
+  with_store @@ fun store ->
+  let p = Suite.prepare_circuit (Library.load "c17") in
+  let tpg = Accumulator.adder (Circuit.input_count p.Suite.circuit) in
+  let grid = [ 10; 20; 40 ] in
+  let sweep () =
+    Tradeoff.sweep ~store ~fingerprint:p.Suite.fingerprint p.Suite.sim tpg
+      ~tests:p.Suite.tests ~targets:p.Suite.targets ~grid
+  in
+  let points = sweep () in
+  let naive =
+    List.map
+      (fun cycles ->
+        let config =
+          {
+            Flow.default_config with
+            Flow.builder = { Builder.default_config with Builder.cycles };
+          }
+        in
+        let r =
+          Flow.run ~config p.Suite.sim tpg ~tests:p.Suite.tests
+            ~targets:p.Suite.targets
+        in
+        { Tradeoff.cycles; triplets = Flow.reseedings r; test_length = r.Flow.test_length })
+      grid
+  in
+  check "prefix-shared sweep = naive per-point flows" true (points = naive);
+  let warm, h = delta "stage_sweep_cache_hits" sweep in
+  check "warm sweep identical" true (warm = points);
+  check_int "first-detection table hits" 1 h
+
+let test_default_grid_edges () =
+  Alcotest.check_raises "0 rejected"
+    (Invalid_argument "Tradeoff.default_grid: max_cycles must be >= 1") (fun () ->
+      ignore (Tradeoff.default_grid ~max_cycles:0));
+  Alcotest.(check (list int)) "below 8" [ 5 ] (Tradeoff.default_grid ~max_cycles:5);
+  Alcotest.(check (list int)) "exactly 8" [ 8 ] (Tradeoff.default_grid ~max_cycles:8);
+  Alcotest.(check (list int))
+    "doubling" [ 8; 16; 32; 64 ]
+    (Tradeoff.default_grid ~max_cycles:100)
+
+let test_render_zero_triplets () =
+  let s =
+    Tradeoff.render
+      [
+        { Tradeoff.cycles = 8; triplets = 0; test_length = 0 };
+        { Tradeoff.cycles = 16; triplets = 0; test_length = 0 };
+      ]
+  in
+  check "renders without dividing by zero" true (String.length s > 0)
+
+(* --- reduction guard --------------------------------------------------- *)
+
+let test_col_dominance_limit_skips () =
+  (* Cyclic instance: every column is covered twice or more and no row's
+     cover is a subset of another's, so columns survive the essentiality
+     and row-dominance passes and the column-dominance guard is reached. *)
+  let m =
+    Matrix.of_rows ~cols:6
+      (Array.of_list
+         (List.map (Bitvec.of_list 6)
+            [ [ 0; 1; 2 ]; [ 2; 3 ]; [ 3; 4; 5 ]; [ 0; 5 ]; [ 1; 4 ]; [ 2; 5 ] ]))
+  in
+  let limited =
+    { Reduce.default_config with Reduce.col_dominance_limit = 2 }
+  in
+  let r, skipped =
+    delta "reduce_coldom_skipped" (fun () -> Reduce.run ~config:limited m)
+  in
+  check "pass skipped at least once" true (skipped >= 1);
+  (* Skipping the pass must match disabling it outright. *)
+  let off =
+    Reduce.run ~config:{ Reduce.default_config with Reduce.col_dominance = false } m
+  in
+  check "limited = disabled" true
+    (r.Reduce.necessary = off.Reduce.necessary
+    && r.Reduce.remaining_rows = off.Reduce.remaining_rows
+    && r.Reduce.remaining_cols = off.Reduce.remaining_cols);
+  let full, skipped_full =
+    delta "reduce_coldom_skipped" (fun () -> Reduce.run m)
+  in
+  check_int "default limit never skips here" 0 skipped_full;
+  check_int "col dominance active by default" full.Reduce.cols_dominated
+    full.Reduce.cols_dominated
+
+(* --- budgets ----------------------------------------------------------- *)
+
+let test_budget_sub () =
+  let parent = Budget.create () in
+  let child = Budget.sub ~deadline_s:(-1.0) parent in
+  check "child trips on own deadline" true (Budget.expired child);
+  check "parent unaffected by child" false (Budget.expired parent);
+  check "child reason" true (Budget.stop_reason child = Some Budget.Deadline);
+  let child2 = Budget.sub parent in
+  check "fresh child live" false (Budget.expired child2);
+  Budget.cancel parent;
+  check "parent expiry reaches child" true (Budget.expired child2);
+  check "reason inherited" true (Budget.stop_reason child2 = Some Budget.Cancelled)
+
+(* --- batch runner ------------------------------------------------------ *)
+
+let manifest_text =
+  {|
+# two circuits x one TPG, one explicit extra
+circuits = c17
+tpgs     = adder, subtracter
+cycles   = 40
+method   = exact
+job c17 multiplier 60
+|}
+
+let test_batch_parse () =
+  let m = Batch.parse_string manifest_text in
+  check "method" true (m.Batch.method_ = Solution.Exact);
+  check "objective defaults" true (m.Batch.objective = Flow.Min_triplets);
+  check_int "scale defaults" 1 m.Batch.scale;
+  check "no deadline" true (m.Batch.job_deadline = None);
+  check "jobs: cross product then explicit" true
+    (m.Batch.jobs
+    = [
+        { Batch.circuit = "c17"; tpg = "adder"; cycles = 40 };
+        { Batch.circuit = "c17"; tpg = "subtracter"; cycles = 40 };
+        { Batch.circuit = "c17"; tpg = "multiplier"; cycles = 60 };
+      ])
+
+let test_batch_parse_errors () =
+  let rejects name text =
+    match Batch.parse_string text with
+    | exception Error.Reseed_error e ->
+        check (name ^ " is an input error") true (e.Error.code = Error.Input_error)
+    | _ -> Alcotest.failf "%s: expected Reseed_error" name
+  in
+  rejects "unknown key" "frobnicate = 1\njob c17 adder 10";
+  rejects "unknown tpg" "job c17 warp-core 10";
+  rejects "bad cycles" "job c17 adder zero";
+  rejects "bad job arity" "job c17 adder";
+  rejects "empty manifest" "# nothing here\n";
+  rejects "missing tpgs" "circuits = c17\ncycles = 10"
+
+let test_batch_cold_warm_reports_identical () =
+  with_store @@ fun store ->
+  let m = Batch.parse_string manifest_text in
+  let r_cold = Batch.run ~store m in
+  let json_cold = Batch.report_json m r_cold in
+  let r_warm, hits = delta "artifact_hits" (fun () -> Batch.run ~store m) in
+  check "cold/warm results identical" true (r_cold = r_warm);
+  check_string "cold/warm reports byte-identical" json_cold
+    (Batch.report_json m r_warm);
+  check "warm campaign hits the store" true (hits > 0);
+  check "all ok" true (List.for_all (fun r -> r.Batch.status = Batch.Ok) r_warm)
+
+let test_batch_expired_budget_skips () =
+  let m = Batch.parse_string manifest_text in
+  let budget = Budget.create () in
+  Budget.cancel budget;
+  let rs = Batch.run ~budget m in
+  check "all skipped" true (List.for_all (fun r -> r.Batch.status = Batch.Skipped) rs);
+  check_int "still one result per job" (List.length m.Batch.jobs) (List.length rs)
+
+let suite =
+  [
+    ( "pipeline",
+      [
+        Alcotest.test_case "fingerprint: combinators framed" `Quick
+          test_fingerprint_combinators;
+        Alcotest.test_case "fingerprint: circuit structure" `Quick
+          test_circuit_fingerprint;
+        Alcotest.test_case "artifact: cached + corruption recovery" `Quick
+          test_artifact_cached_and_corruption;
+        Alcotest.test_case "atpg stage: every knob invalidates" `Quick
+          test_atpg_stage_invalidation;
+        Alcotest.test_case "matrix stage: warm hit bit-identical" `Quick
+          test_matrix_stage_bit_identity;
+        Alcotest.test_case "flow: staged = plain, warm sims nothing" `Quick
+          test_staged_flow_matches_plain;
+        Alcotest.test_case "sweep: prefix sharing = per-point flows" `Quick
+          test_sweep_matches_per_point_runs;
+        Alcotest.test_case "tradeoff: default_grid edges" `Quick test_default_grid_edges;
+        Alcotest.test_case "tradeoff: render all-zero series" `Quick
+          test_render_zero_triplets;
+        Alcotest.test_case "reduce: col-dominance limit skips" `Quick
+          test_col_dominance_limit_skips;
+        Alcotest.test_case "budget: sub-budget semantics" `Quick test_budget_sub;
+        Alcotest.test_case "batch: manifest parses" `Quick test_batch_parse;
+        Alcotest.test_case "batch: bad manifests rejected" `Quick
+          test_batch_parse_errors;
+        Alcotest.test_case "batch: cold/warm reports identical" `Quick
+          test_batch_cold_warm_reports_identical;
+        Alcotest.test_case "batch: expired budget skips jobs" `Quick
+          test_batch_expired_budget_skips;
+      ] );
+  ]

@@ -78,7 +78,7 @@ let test_row_dominance () =
   (* row 0 ⊂ row 1 → row 0 dropped *)
   let m = matrix_of 3 [ [ 0 ]; [ 0; 1 ]; [ 2 ] ] in
   let r =
-    Reduce.run ~config:{ Reduce.essentials = false; row_dominance = true; col_dominance = false } m
+    Reduce.run ~config:{ Reduce.default_config with Reduce.essentials = false; row_dominance = true; col_dominance = false } m
   in
   check "row 0 dominated" true (not (List.mem 0 r.Reduce.remaining_rows));
   check_int "one dominated" 1 r.Reduce.rows_dominated
@@ -86,7 +86,7 @@ let test_row_dominance () =
 let test_equal_rows_keep_one () =
   let m = matrix_of 2 [ [ 0; 1 ]; [ 0; 1 ] ] in
   let r =
-    Reduce.run ~config:{ Reduce.essentials = false; row_dominance = true; col_dominance = false } m
+    Reduce.run ~config:{ Reduce.default_config with Reduce.essentials = false; row_dominance = true; col_dominance = false } m
   in
   check_int "exactly one row survives" 1 (List.length r.Reduce.remaining_rows)
 
@@ -94,7 +94,7 @@ let test_col_dominance () =
   (* rows(col0) = {0} ⊆ rows(col1) = {0,1} → col 1 removed *)
   let m = matrix_of 2 [ [ 0; 1 ]; [ 1 ] ] in
   let r =
-    Reduce.run ~config:{ Reduce.essentials = false; row_dominance = false; col_dominance = true } m
+    Reduce.run ~config:{ Reduce.default_config with Reduce.essentials = false; row_dominance = false; col_dominance = true } m
   in
   check "col 1 dropped" true (not (List.mem 1 r.Reduce.remaining_cols));
   check "col 0 kept" true (List.mem 0 r.Reduce.remaining_cols)
