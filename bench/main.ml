@@ -7,6 +7,8 @@
      ablation — design-choice ablations called out in DESIGN.md
      micro    — bechamel micro-benchmarks of the hot kernels
      enginecheck — cross-check the fault-simulation engines bit-for-bit
+     scale    — the xl tier: per-stage wall time and peak RSS on
+                10k-100k-fault circuits, written to BENCH_scale.json
 
    Environment:
      RESEED_BENCH_FULL=1   run the full circuit suite (slow) instead of the
@@ -32,7 +34,21 @@
                            (ATPG, matrix, reduce, solve, truncate, sweep,
                            gatsby) persist under DIR and reload on the
                            next run; a warm table1 rerun touches neither
-                           ATPG nor the matrix builder. *)
+                           ATPG nor the matrix builder.
+     RESEED_SCALE_CIRCUITS=a,b
+                           xl-tier members for the [scale] bench (default:
+                           the smallest xl circuit; "all" = the whole
+                           suite).
+     RESEED_SCALE_JSON=F   scale-bench summary path (default
+                           BENCH_scale.json in the working directory).
+     RESEED_SCALE_RSS_BUDGET_KB=N
+                           peak-RSS budget recorded in the scale summary
+                           (default: 1.5x the measured peak, rounded up
+                           to a 64 MB boundary) — the value CI gates
+                           fresh runs against.
+     RESEED_ROWSET=R       pin the row representation (dense | sparse |
+                           big | auto); used by the CI solution-identity
+                           check. *)
 
 open Reseed_core
 open Reseed_gatsby
@@ -458,6 +474,164 @@ let run_micro () =
         results)
     tests
 
+(* The scale tier.  Unlike the table benches this measures the pipeline's
+   resource envelope, not the paper's numbers: per-stage wall clock and
+   peak RSS over xl circuits (10k-100k universe faults) land in
+   BENCH_scale.json, and CI gates a fresh run's peak against the
+   committed [rss_budget_kb].  Peak RSS is monotone over the process, so
+   each stage's sample is the high-water mark reached by the end of that
+   stage. *)
+
+let scale_json_path =
+  Option.value (Sys.getenv_opt "RESEED_SCALE_JSON") ~default:"BENCH_scale.json"
+
+let scale_circuits () =
+  match Sys.getenv_opt "RESEED_SCALE_CIRCUITS" with
+  | Some "all" -> Suite.xl_suite
+  | Some s ->
+      List.filter
+        (fun s -> s <> "")
+        (List.map String.trim (String.split_on_char ',' s))
+  | None -> [ List.hd Suite.xl_suite ]
+
+type scale_stage = { stage : string; wall_s : float; stage_rss_kb : int }
+
+type scale_row = {
+  sc_name : string;
+  sc_gates : int;
+  sc_universe : int;
+  sc_rows : int;
+  sc_cols : int;
+  sc_ones : int;
+  sc_repr : (string * int) list;  (** rowset representation mix *)
+  sc_solution : int;
+  sc_sims : int;
+  sc_stages : scale_stage list;
+}
+
+let run_scale () =
+  log "== Scale tier: per-stage wall / peak RSS (xl suite) ==";
+  let rss () = Option.value (Rss.peak_kb ()) ~default:0 in
+  let rows =
+    List.map
+      (fun name ->
+        let stages = ref [] in
+        let staged stage f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          let wall_s = Unix.gettimeofday () -. t0 in
+          stages := { stage; wall_s; stage_rss_kb = rss () } :: !stages;
+          log "  [%s] %-7s %7.1fs  rss %d MB" name stage wall_s (rss () / 1024);
+          r
+        in
+        (* Full xl gate count: scale_for would divide it back down. *)
+        let p =
+          staged "prepare" (fun () ->
+              Suite.prepare ~scale_factor:1 ~sim_engine ~collapse:collapse_on
+                ?store name)
+        in
+        let tpg = Accumulator.adder (Circuit.input_count p.Suite.circuit) in
+        let built =
+          staged "matrix" (fun () ->
+              Builder.build ?store p.Suite.sim tpg ~tests:p.Suite.tests
+                ~targets:p.Suite.targets ~config:Builder.default_config)
+        in
+        let m = built.Builder.matrix in
+        ignore (staged "reduce" (fun () -> Reduce.run m));
+        (* [solve] re-runs its own reduction; the residual it solves is
+           tiny, so the stage is dominated by the end-game itself. *)
+        let sol = staged "solve" (fun () -> Solution.solve m) in
+        if not (Solution.verify m sol) then begin
+          log "scale FAILED: %s solution does not cover the matrix" name;
+          exit 1
+        end;
+        let repr = [| 0; 0; 0 |] in
+        for i = 0 to Matrix.rows m - 1 do
+          let k =
+            match Rowset.repr (Matrix.rowset m i) with
+            | Rowset.Dense -> 0
+            | Rowset.Sparse -> 1
+            | Rowset.Big -> 2
+          in
+          repr.(k) <- repr.(k) + 1
+        done;
+        let universe =
+          match p.Suite.collapse with
+          | Some c -> Reseed_fault.Collapse.universe_count c
+          | None -> Array.length (Reseed_fault.Fault.universe p.Suite.circuit)
+        in
+        log "  [%s] matrix %dx%d (%d ones), %d universe faults, %d triplets"
+          name (Matrix.rows m) (Matrix.cols m) (Matrix.ones m) universe
+          (Solution.cardinality sol);
+        {
+          sc_name = name;
+          sc_gates = Circuit.gate_count p.Suite.circuit;
+          sc_universe = universe;
+          sc_rows = Matrix.rows m;
+          sc_cols = Matrix.cols m;
+          sc_ones = Matrix.ones m;
+          sc_repr =
+            [ ("dense", repr.(0)); ("sparse", repr.(1)); ("big", repr.(2)) ];
+          sc_solution = Solution.cardinality sol;
+          sc_sims = built.Builder.fault_sims;
+          sc_stages = List.rev !stages;
+        })
+      (scale_circuits ())
+  in
+  let peak = rss () in
+  let budget =
+    match Sys.getenv_opt "RESEED_SCALE_RSS_BUDGET_KB" with
+    | Some s -> ( try int_of_string s with _ -> 0)
+    | None ->
+        (* 1.5x the measured peak, up to the next 64 MB boundary: slack
+           for allocator noise without letting a dense-matrix regression
+           slip through. *)
+        let raw = peak + (peak / 2) in
+        (raw + 65535) / 65536 * 65536
+  in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "{\n";
+  pr "  \"jobs\": %d,\n" (Pool.default_jobs ());
+  pr "  \"engine\": \"%s\",\n" (Reseed_fault.Fault_sim.engine_name sim_engine);
+  pr "  \"collapse\": %b,\n" collapse_on;
+  pr "  \"rowset\": \"%s\",\n"
+    (match Rowset.forced () with
+    | Some r -> Rowset.repr_name r
+    | None -> "auto");
+  pr "  \"circuits\": [";
+  List.iteri
+    (fun i r ->
+      pr "%s\n    { \"name\": \"%s\", \"gates\": %d, \"universe_faults\": %d,\n"
+        (if i = 0 then "" else ",")
+        r.sc_name r.sc_gates r.sc_universe;
+      pr "      \"matrix\": { \"rows\": %d, \"cols\": %d, \"ones\": %d, \"density\": %.6f,\n"
+        r.sc_rows r.sc_cols r.sc_ones
+        (float_of_int r.sc_ones /. float_of_int (max 1 (r.sc_rows * r.sc_cols)));
+      pr "        \"repr\": { %s } },\n"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) r.sc_repr));
+      pr "      \"solution_triplets\": %d, \"fault_sims\": %d,\n" r.sc_solution
+        r.sc_sims;
+      pr "      \"stages\": [%s] }"
+        (String.concat ", "
+           (List.map
+              (fun s ->
+                Printf.sprintf
+                  "{ \"stage\": \"%s\", \"wall_s\": %.3f, \"rss_kb\": %d }"
+                  s.stage s.wall_s s.stage_rss_kb)
+              r.sc_stages)))
+    rows;
+  pr "\n  ],\n";
+  pr "  \"peak_rss_kb\": %d,\n" peak;
+  pr "  \"rss_budget_kb\": %d\n" budget;
+  pr "}\n";
+  let oc = open_out scale_json_path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc (Buffer.contents buf));
+  log "  [json] wrote %s (peak rss %d MB, budget %d MB)" scale_json_path
+    (peak / 1024) (budget / 1024)
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (* Observability mirrors the CLI's --trace/--metrics: at_exit writers
@@ -479,6 +653,7 @@ let () =
   | "ablation" -> run_ablation ()
   | "micro" -> run_micro ()
   | "enginecheck" -> run_enginecheck ()
+  | "scale" -> run_scale ()
   | "all" ->
       run_table1 ();
       print_newline ();
@@ -491,12 +666,13 @@ let () =
       run_micro ()
   | other ->
       Printf.eprintf
-        "unknown bench %S (table1|table2|figure2|ablation|micro|enginecheck|all)\n" other;
+        "unknown bench %S (table1|table2|figure2|ablation|micro|enginecheck|scale|all)\n"
+        other;
       exit 2);
   let total_s = Unix.gettimeofday () -. t0 in
-  (* enginecheck is a pass/fail gate with no table stats; writing the
-     summary would clobber a real run's JSON in CI. *)
-  if mode <> "enginecheck" then write_bench_json ~total_s ();
+  (* enginecheck is a pass/fail gate with no table stats, and scale
+     writes its own summary; either would clobber a real run's JSON. *)
+  if mode <> "enginecheck" && mode <> "scale" then write_bench_json ~total_s ();
   log "\nTotal bench time: %.1fs (jobs=%d, engine=%s, collapse=%b)" total_s
     (Pool.default_jobs ())
     (Reseed_fault.Fault_sim.engine_name sim_engine)

@@ -11,8 +11,9 @@
      fullscan  extract the combinational core of a sequential circuit
      gen       emit a synthetic ISCAS-like circuit as a .bench file
 
-   Circuits are named by catalog entry ("c432", "s1238", …) or by a path
-   to an ISCAS .bench file.
+   Circuits are named by catalog entry ("c432", "s1238", …), by a
+   scaled-up xl-tier name ("s1238_x32": any catalog base with an _x2 to
+   _x64 suffix), or by a path to an ISCAS .bench file.
 
    Exit codes (see Reseed_util.Error): 0 success (including
    deadline-degraded runs), 2 usage, 3 input, 4 infeasible, 5 worker
@@ -166,9 +167,32 @@ let info_cmd =
             (if name = "c17" then "embedded ISCAS netlist" else "synthetic ISCAS-like");
           ])
       Library.paper_suite;
-    Table.print t
+    Table.print t;
+    let xl =
+      Table.create ~title:"Scale tier (synthetic, 10k-100k universe faults)"
+        [
+          ("Name", Table.Left);
+          ("PIs", Table.Right);
+          ("POs", Table.Right);
+          ("Gates", Table.Right);
+        ]
+    in
+    List.iter
+      (fun name ->
+        let spec = Library.spec_of name in
+        Table.add_row xl
+          [
+            name;
+            Table.cell_int spec.Generator.n_inputs;
+            Table.cell_int spec.Generator.n_outputs;
+            Table.cell_int spec.Generator.n_gates;
+          ])
+      Library.xl_names;
+    Table.print xl;
+    print_string
+      "Any catalog name takes an _x2.._x64 suffix (e.g. c880_x64) to scale it up.\n"
   in
-  Cmd.v (Cmd.info "info" ~doc:"List the built-in benchmark catalog.")
+  Cmd.v (Cmd.info "info" ~doc:"List the built-in benchmark catalog and the xl scale tier.")
     Term.(const run $ const ())
 
 (* atpg *)

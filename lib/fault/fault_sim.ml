@@ -455,8 +455,10 @@ let detection_map ?budget t patterns =
         (fun fi fault ->
           let d = process_mode t good mask mode fault in
           if d <> 0 then
+            (* [d land mask] keeps every set lane below the block length,
+               so [base + k] is always in range. *)
             for k = 0 to Logic_sim.block_width - 1 do
-              if d lsr k land 1 = 1 then Bitvec.set result.(fi) (base + k)
+              if d lsr k land 1 = 1 then Bitvec.unsafe_set result.(fi) (base + k)
             done)
         t.faults);
   result
@@ -470,20 +472,30 @@ let detected_set ?budget t patterns ~active =
   iter_blocks ?budget ~stop:(fun () -> !remaining = 0) t patterns
     (fun ~base:_ ~good ~mask ->
       let mode = begin_block t good mask ~live:!remaining in
+      (* [fi] ranges over the fault array, whose length both vectors were
+         checked (or built) to match — the per-fault test is the hottest
+         line of the sweep, so skip the bounds checks. *)
       Array.iteri
         (fun fi fault ->
-          if Bitvec.get active fi && not (Bitvec.get detected fi) then
+          if Bitvec.unsafe_get active fi && not (Bitvec.unsafe_get detected fi)
+          then
             if process_mode t good mask mode fault <> 0 then begin
-              Bitvec.set detected fi;
+              Bitvec.unsafe_set detected fi;
               decr remaining
             end)
         t.faults);
   detected
 
 let first_detections ?budget t ?active patterns =
+  (match active with
+  | Some a when Bitvec.length a <> fault_count t ->
+      invalid_arg "Fault_sim.first_detections: active mask size mismatch"
+  | _ -> ());
   with_sweep "fault_sim.first_detections" t patterns @@ fun () ->
   let result = Array.make (fault_count t) None in
-  let live fi = match active with None -> true | Some a -> Bitvec.get a fi in
+  let live fi =
+    match active with None -> true | Some a -> Bitvec.unsafe_get a fi
+  in
   let remaining =
     ref
       (match active with

@@ -65,14 +65,31 @@ let generate spec =
   in
   let per_level = max 1 ((spec.n_gates + depth - 1) / depth) in
   let unused = Hashtbl.create 256 in
-  let all_signals = ref [] and all_count = ref 0 in
+  (* Growable oldest-first array of every signal.  The former signal
+     list was converted to an array inside every fanin pick — O(gates²)
+     overall, the wall dominating 10k+-gate generation. *)
+  let all_signals = ref (Array.make 1024 (-1)) and all_count = ref 0 in
   let prob : (int, float) Hashtbl.t = Hashtbl.create 256 in
   let prev_level = ref [||] in
   let push_all h p =
-    all_signals := h :: !all_signals;
+    if !all_count = Array.length !all_signals then begin
+      let bigger = Array.make (2 * !all_count) (-1) in
+      Array.blit !all_signals 0 bigger 0 !all_count;
+      all_signals := bigger
+    end;
+    !all_signals.(!all_count) <- h;
     incr all_count;
     Hashtbl.replace unused h ();
     Hashtbl.replace prob h p
+  in
+  (* Uniform pick over all signals, emulating [Rng.pick] on the
+     newest-first array the list used to produce: one [Rng.int] draw,
+     index flipped — the RNG stream and the picked signal are identical,
+     so every circuit generated before this change is reproduced
+     bit-for-bit. *)
+  let pick_any () =
+    let n = !all_count in
+    !all_signals.(n - 1 - Rng.int rng n)
   in
   let inputs =
     Array.init spec.n_inputs (fun i ->
@@ -94,20 +111,17 @@ let generate spec =
     push_all h (output_prob kind (List.map p_of fanins));
     h
   in
-  let all_arr () = Array.of_list !all_signals in
   (* Pick [k] distinct fanins: mostly previous level (consuming unused
      signals first so nothing dangles), sometimes any earlier signal. *)
   let pick_fanins k =
     let prev = !prev_level in
-    let anywhere = all_arr () in
     let chosen = Hashtbl.create k in
     let take h = Hashtbl.replace chosen h () in
     let dangling = Array.of_list (List.filter (Hashtbl.mem unused) (Array.to_list prev)) in
     if Array.length dangling > 0 then take (Rng.pick rng dangling);
     let guard = ref 0 in
     while Hashtbl.length chosen < k && !guard < 60 do
-      let pool = if Rng.int rng 100 < 75 then prev else anywhere in
-      take (Rng.pick rng pool);
+      if Rng.int rng 100 < 75 then take (Rng.pick rng prev) else take (pick_any ());
       incr guard
     done;
     List.of_seq (Hashtbl.to_seq_keys chosen)
@@ -186,25 +200,27 @@ let generate spec =
     prev_level := Array.of_list (List.rev !this_level)
   done;
   (* Fold leftover unused signals into XOR observation trees until at most
-     [n_outputs] signals remain unused; these become the primary outputs. *)
+     [n_outputs] signals remain unused; these become the primary outputs.
+     The old sort-per-step always paired the two smallest handles and
+     produced a gate whose handle exceeds every live one — exactly a
+     FIFO over the initially-sorted handles, without the re-sorts. *)
   let unused_list () = List.sort compare (List.of_seq (Hashtbl.to_seq_keys unused)) in
-  let rec fold_down () =
-    let l = unused_list () in
-    if List.length l > spec.n_outputs then begin
-      match l with
-      | a :: c :: _ ->
-          ignore (add_gate Gate.Xor [ a; c ]);
-          fold_down ()
-      | _ -> ()
-    end
+  let fold_down () =
+    let q = Queue.create () in
+    List.iter (fun h -> Queue.add h q) (unused_list ());
+    while Queue.length q > spec.n_outputs do
+      let a = Queue.pop q in
+      let c = Queue.pop q in
+      Queue.add (add_gate Gate.Xor [ a; c ]) q
+    done;
+    List.of_seq (Queue.to_seq q)
   in
-  fold_down ();
-  let outs = ref (unused_list ()) in
-  (* [all_arr] lists newest first; prefer deep signals as outputs. *)
-  let arr = all_arr () in
+  let outs = ref (fold_down ()) in
+  (* Newest-first over all signals; prefer deep signals as outputs. *)
   let i = ref 0 in
-  while List.length !outs < spec.n_outputs && !i < Array.length arr do
-    if not (List.mem arr.(!i) !outs) then outs := arr.(!i) :: !outs;
+  while List.length !outs < spec.n_outputs && !i < !all_count do
+    let h = !all_signals.(!all_count - 1 - !i) in
+    if not (List.mem h !outs) then outs := h :: !outs;
     incr i
   done;
   List.iter (Circuit.Builder.mark_output b) !outs;

@@ -235,6 +235,58 @@ let scale ~factor (spec : Generator.spec) =
       n_gates = max 8 (spec.Generator.n_gates / factor);
     }
 
+(* Integer sqrt by scan: factors stay <= 64, so this is instant. *)
+let isqrt n =
+  let r = ref 1 in
+  while (!r + 1) * (!r + 1) <= n do
+    incr r
+  done;
+  !r
+
+let scale_up ~factor (spec : Generator.spec) =
+  if factor < 1 then invalid_arg "Library.scale_up: factor must be >= 1";
+  if factor = 1 then spec
+  else begin
+    let name = Printf.sprintf "%s_x%d" spec.Generator.name factor in
+    (* Gates scale linearly; the interface grows like the square root of
+       the logic, Rent-style — real large designs are logic-dominated,
+       not pad-dominated.  The seed is re-derived from the new name so
+       every xl member is a distinct circuit, not a magnified twin. *)
+    let widened = isqrt factor in
+    let base =
+      Generator.default_spec name
+        ~inputs:(spec.Generator.n_inputs * widened)
+        ~outputs:(spec.Generator.n_outputs * widened)
+        ~gates:(spec.Generator.n_gates * factor)
+    in
+    { base with Generator.hard_fraction = spec.Generator.hard_fraction }
+  end
+
+(* "<base>_x<factor>" resolves to the scaled-up spec of any catalog
+   member, e.g. "s1238_x32".  The curated xl suite below names the tier
+   the scale bench exercises (~10k-100k universe faults). *)
+let parse_xl name =
+  match String.rindex_opt name '_' with
+  | Some i
+    when i + 2 < String.length name
+         && name.[i + 1] = 'x'
+         && String.for_all
+              (fun c -> c >= '0' && c <= '9')
+              (String.sub name (i + 2) (String.length name - i - 2)) ->
+      let base = String.sub name 0 i in
+      let factor = int_of_string (String.sub name (i + 2) (String.length name - i - 2)) in
+      if List.mem_assoc base full_catalog && factor >= 2 && factor <= 64 then
+        Some (base, factor)
+      else None
+  | _ -> None
+
+let xl_names = [ "s953_x8"; "s1238_x16"; "s1238_x32"; "c880_x64" ]
+
+let spec_of name =
+  match parse_xl name with
+  | Some (base, factor) -> scale_up ~factor (spec_of base)
+  | None -> spec_of name
+
 let load ?(scale_factor = 1) name =
   if name = "c17" then c17 ()
   else Generator.generate (scale ~factor:scale_factor (spec_of name))

@@ -35,15 +35,30 @@ val alu : int -> Circuit.t
     circuit name and its generation spec. *)
 val paper_suite : (string * Generator.spec) list
 
-(** [spec_of name] is the catalog spec for an ISCAS benchmark name.
-    Raises {!Reseed_util.Error.Reseed_error} ([Input_error]) for unknown
-    names, listing the catalog. *)
+(** [spec_of name] is the catalog spec for an ISCAS benchmark name, or —
+    for a name of the form ["<base>_x<factor>"] with a catalog [base] and
+    a factor in [2, 64], e.g. ["s1238_x32"] — the {!scale_up} of that
+    base.  Raises {!Reseed_util.Error.Reseed_error} ([Input_error]) for
+    unknown names, listing the catalog. *)
 val spec_of : string -> Generator.spec
 
 (** [scale ~factor spec] shrinks a spec's gate/PI/PO counts by [factor]
     (>= 1), keeping at least 2 inputs / 1 output / 8 gates.  Used for quick
     bench runs on the largest circuits. *)
 val scale : factor:int -> Generator.spec -> Generator.spec
+
+(** [scale_up ~factor spec] grows a spec into the 10k-100k-gate tier:
+    gates multiply by [factor], the PI/PO interface by [isqrt factor]
+    (Rent-style — big designs are logic-dominated), the name gains an
+    ["_x<factor>"] suffix and the seed is re-derived from it, so each xl
+    member is a distinct deterministic circuit rather than a magnified
+    twin of its base. *)
+val scale_up : factor:int -> Generator.spec -> Generator.spec
+
+(** The curated xl suite — scaled-up catalog members spanning roughly
+    10k to 100k universe faults, smallest first.  All resolvable by
+    {!spec_of} / {!load}. *)
+val xl_names : string list
 
 (** [load ?scale_factor name] materialises a benchmark: the embedded real
     netlist for ["c17"], otherwise the synthetic ISCAS-like circuit.

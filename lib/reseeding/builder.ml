@@ -67,7 +67,7 @@ let fingerprint ?salt ~tests ~targets tpg ~config =
   let h = bitvec h targets in
   patterns h tests
 
-(* The matrix artifact stores what fault simulation produced — row bits
+(* The matrix artifact stores what fault simulation produced — row sets
    and useful-cycle counts.  Triplets are re-derived from the same seed
    (cheap and deterministic), so a warm hit costs zero injections. *)
 let encode_built b =
@@ -75,13 +75,13 @@ let encode_built b =
   else begin
     let n = Array.length b.useful_cycles in
     let cols = Bitvec.length b.targets in
-    let buf = Buffer.create (8 + (n * (8 + ((cols + 7) / 8)))) in
+    let buf = Buffer.create (8 + (n * 16)) in
     Artifact.Codec.u32 buf n;
     Artifact.Codec.u32 buf cols;
     Array.iteri
       (fun i useful ->
         Artifact.Codec.u32 buf useful;
-        Artifact.Codec.bitvec buf (Matrix.row b.matrix i))
+        Artifact.Codec.rowset buf (Matrix.rowset b.matrix i))
       b.useful_cycles;
     Some (Buffer.contents buf)
   end
@@ -95,19 +95,48 @@ let decode_built ~config ~tests ~targets tpg r =
   let rows =
     Array.init n (fun i ->
         useful_cycles.(i) <- Artifact.Codec.get_u32 r;
-        let bits = Artifact.Codec.get_bitvec r in
-        if Bitvec.length bits <> nf then raise Artifact.Codec.Malformed;
-        bits)
+        let row = Artifact.Codec.get_rowset r in
+        if Rowset.length row <> nf then raise Artifact.Codec.Malformed;
+        row)
   in
   {
     triplets = make_triplets ~config tpg tests;
-    matrix = Matrix.of_rows ~cols:nf rows;
+    matrix = Matrix.of_rowsets ~cols:nf rows;
     targets;
     useful_cycles;
     fault_sims = 0;
     rows_skipped = 0;
     rows_restored = 0;
   }
+
+(* One shard = one checkpoint-sized row range, published to the store as
+   soon as its rows are complete and keyed by the matrix fingerprint
+   plus the range.  A run that dies (or runs out of budget) after
+   finishing some shards leaves them behind; the rerun restores them
+   row-for-row and simulates only the rest — and at no point does any
+   encoder need more than one shard of dense scratch in memory. *)
+let encode_shard group =
+  match group with
+  | None -> None
+  | Some rows ->
+      let buf = Buffer.create (Array.length rows * 16) in
+      Artifact.Codec.u32 buf (Array.length rows);
+      Array.iter
+        (fun (useful, row) ->
+          Artifact.Codec.u32 buf useful;
+          Artifact.Codec.rowset buf row)
+        rows;
+      Some (Buffer.contents buf)
+
+let decode_shard ~nf ~expect r =
+  let n = Artifact.Codec.get_u32 r in
+  if n <> expect then raise Artifact.Codec.Malformed;
+  Some
+    (Array.init n (fun _ ->
+         let useful = Artifact.Codec.get_u32 r in
+         let row = Artifact.Codec.get_rowset r in
+         if Rowset.length row <> nf then raise Artifact.Codec.Malformed;
+         (useful, row)))
 
 let build ?pool ?budget ?checkpoint ?store ?fingerprint:fp sim tpg ~tests ~targets
     ~config =
@@ -134,7 +163,12 @@ let build ?pool ?budget ?checkpoint ?store ?fingerprint:fp sim tpg ~tests ~targe
   let triplets = make_triplets ~config tpg tests in
   let n = Array.length triplets in
   let useful_cycles = Array.make n 1 in
-  let rows = Array.init n (fun _ -> Bitvec.create nf) in
+  (* Rows start empty and are compacted the moment they are simulated;
+     only the in-flight rows of one chunk ever exist in dense scratch
+     form, so the full M x F matrix is never resident during
+     construction. *)
+  let empty_row = Rowset.of_sorted_array nf [||] in
+  let rows = Array.make n empty_row in
   let completed = Array.make n false in
   (* Resume: rows are pure functions of their index, so any complete row
      from a fingerprint-matching checkpoint is the row we would compute. *)
@@ -158,19 +192,28 @@ let build ?pool ?budget ?checkpoint ?store ?fingerprint:fp sim tpg ~tests ~targe
              if not completed.(row) then begin
                completed.(row) <- true;
                incr restored;
-               rows.(row) <- bits;
+               rows.(row) <- Rowset.of_bitvec bits;
                useful_cycles.(row) <- useful
              end)))
     ck;
   (* One task per matrix row; each worker fault-simulates on its own
      simulator shard, and every write lands in the task's own row slot, so
-     the matrix is bit-identical at every job count.  With a checkpoint the
-     rows are processed in chunk-sized groups so each finished group can be
-     persisted before the next starts; a budget-abandoned row stays empty
-     and [completed] false, and is never persisted. *)
+     the matrix is bit-identical at every job count.  With a checkpoint or
+     an artifact store the rows are processed in chunk-sized groups so each
+     finished group can be persisted — and, for the store, restored —
+     independently before the next starts; a budget-abandoned row stays
+     empty and [completed] false, and is never persisted. *)
   let pool = match pool with Some p -> p | None -> Pool.default () in
-  let shard = Fault_sim.shard sim (Pool.jobs pool) in
-  let group = match ck with Some _ -> Checkpoint.chunk_rows | None -> max 1 n in
+  let sim_shard = Fault_sim.shard sim (Pool.jobs pool) in
+  let shard_store =
+    match (store, fp) with Some s, Some _ -> Some s | _ -> None
+  in
+  let group =
+    match (ck, shard_store) with
+    | None, None -> max 1 n
+    | _ -> Checkpoint.chunk_rows
+  in
+  let base_fp = Option.value fp ~default:Fingerprint.empty in
   let glo = ref 0 in
   while !glo < n do
     let lo = !glo and hi = min n (!glo + group) in
@@ -180,36 +223,70 @@ let build ?pool ?budget ?checkpoint ?store ?fingerprint:fp sim tpg ~tests ~targe
       if not completed.(i) then missing := true
     done;
     if !missing && not (Budget.check budget) then begin
-      Trace.with_span "builder.chunk"
-        ~args:[ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
-      @@ fun () ->
-      Pool.parallel_for ~pool ~chunk:1 ~label:"detection-matrix rows"
-        ~total:(hi - lo) (fun ~worker ~lo:tlo ~hi:thi ->
-          let s = shard.(worker) in
-          for j = tlo to thi - 1 do
-            let i = lo + j in
-            if (not completed.(i)) && not (Budget.check budget) then begin
-              let burst = Triplet.patterns tpg triplets.(i) in
-              let firsts = Fault_sim.first_detections ?budget s ~active:targets burst in
-              (* An expired budget may have cut the sweep short: discard
-                 the partial row rather than commit an understated one. *)
-              if not (Budget.check budget) then begin
-                let row = Bitvec.create nf in
-                let useful = ref 1 in
-                Array.iteri
-                  (fun fi first ->
-                    match first with
-                    | Some p when Bitvec.get targets fi ->
-                        Bitvec.set row fi;
-                        if p + 1 > !useful then useful := p + 1
-                    | _ -> ())
-                  firsts;
-                rows.(i) <- row;
-                useful_cycles.(i) <- !useful;
-                completed.(i) <- true
+      let computed = ref false in
+      let compute () =
+        Trace.with_span "builder.chunk"
+          ~args:[ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+        @@ fun () ->
+        computed := true;
+        Pool.parallel_for ~pool ~chunk:1 ~label:"detection-matrix rows"
+          ~total:(hi - lo) (fun ~worker ~lo:tlo ~hi:thi ->
+            let s = sim_shard.(worker) in
+            for j = tlo to thi - 1 do
+              let i = lo + j in
+              if (not completed.(i)) && not (Budget.check budget) then begin
+                let burst = Triplet.patterns tpg triplets.(i) in
+                let firsts =
+                  Fault_sim.first_detections ?budget s ~active:targets burst
+                in
+                (* An expired budget may have cut the sweep short: discard
+                   the partial row rather than commit an understated one. *)
+                if not (Budget.check budget) then begin
+                  let row = Bitvec.create nf in
+                  let useful = ref 1 in
+                  Array.iteri
+                    (fun fi first ->
+                      match first with
+                      | Some p when Bitvec.get targets fi ->
+                          Bitvec.set row fi;
+                          if p + 1 > !useful then useful := p + 1
+                      | _ -> ())
+                    firsts;
+                  rows.(i) <- Rowset.of_bitvec row;
+                  useful_cycles.(i) <- !useful;
+                  completed.(i) <- true
+                end
               end
-            end
-          done);
+            done);
+        let all = ref true in
+        for i = lo to hi - 1 do
+          if not completed.(i) then all := false
+        done;
+        if !all then
+          Some (Array.init (hi - lo) (fun j -> (useful_cycles.(lo + j), rows.(lo + j))))
+        else None
+      in
+      let shard_result =
+        Artifact.cached shard_store ~stage:"matrixshard"
+          ~fp:Fingerprint.(int (int base_fp lo) hi)
+          ~encode:encode_shard
+          ~decode:(decode_shard ~nf ~expect:(hi - lo))
+          compute
+      in
+      (match shard_result with
+      | Some group_rows when not !computed ->
+          (* Shard cache hit: adopt the stored rows. *)
+          Array.iteri
+            (fun j (useful, row) ->
+              let i = lo + j in
+              if not completed.(i) then begin
+                completed.(i) <- true;
+                incr restored;
+                rows.(i) <- row;
+                useful_cycles.(i) <- useful
+              end)
+            group_rows
+      | _ -> ());
       match ck with
       | Some ck ->
           let all = ref true in
@@ -219,17 +296,17 @@ let build ?pool ?budget ?checkpoint ?store ?fingerprint:fp sim tpg ~tests ~targe
           if !all then
             Checkpoint.store ck ~lo ~hi
               ~useful:(fun i -> useful_cycles.(i))
-              ~row:(fun i -> rows.(i))
+              ~row:(fun i -> Rowset.to_bitvec rows.(i))
       | None -> ()
     end
   done;
-  Fault_sim.merge_sims ~into:sim shard;
+  Fault_sim.merge_sims ~into:sim sim_shard;
   let skipped = ref 0 in
   Array.iter (fun d -> if not d then incr skipped) completed;
   Metrics.add m_rows_computed (n - !restored - !skipped);
   Metrics.add m_ck_hits !restored;
   Metrics.add m_rows_skipped !skipped;
-  let matrix = Matrix.of_rows ~cols:nf rows in
+  let matrix = Matrix.of_rowsets ~cols:nf rows in
   {
     triplets;
     matrix;

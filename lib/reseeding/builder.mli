@@ -44,7 +44,9 @@ type t = {
       (** rows abandoned empty because the [budget] expired; their
           triplet detects nothing in the matrix, so the covering step
           sees an honestly smaller instance *)
-  rows_restored : int;  (** rows loaded from the [checkpoint] directory *)
+  rows_restored : int;
+      (** rows loaded from the [checkpoint] directory or from shard
+          artifacts in the [store] instead of being re-simulated *)
 }
 
 (** [make_triplets ~config tpg tests] is the initial reseeding [T] alone:
@@ -83,7 +85,16 @@ val fingerprint :
     [store] memoises the whole stage under [fingerprint] (computed via
     {!fingerprint} when omitted): a warm hit reconstructs the result with
     zero fault simulations ([fault_sims = 0]); results with
-    [rows_skipped > 0] are never persisted. *)
+    [rows_skipped > 0] are never persisted.  On a whole-stage miss the
+    build is sharded: rows are simulated in chunk-sized groups, and each
+    complete group is published to the store independently (stage
+    [matrixshard], keyed by the matrix fingerprint and the row range) the
+    moment it finishes — so a crashed or budget-stopped run leaves its
+    finished shards behind, and the rerun restores them row-for-row
+    (counted in [rows_restored]) and simulates only the rest.  Rows are
+    compacted to their {!Reseed_util.Rowset} representation as soon as
+    they are produced; the full dense matrix is never resident during
+    construction. *)
 val build :
   ?pool:Pool.t ->
   ?budget:Budget.t ->

@@ -411,3 +411,5 @@ let csv_figure2 points =
 let quick_suite = [ "c17"; "c432"; "c499"; "c880"; "s420"; "s641"; "s820"; "s1238" ]
 
 let full_suite = Library.names
+
+let xl_suite = Library.xl_names

@@ -136,3 +136,8 @@ val quick_suite : string list
 
 val full_suite : string list
 (** every catalog entry; the largest are scaled unless [scale_factor 1]. *)
+
+val xl_suite : string list
+(** the scale tier ({!Reseed_netlist.Library.xl_names}): scaled-up
+    catalog members with roughly 10k-100k universe faults, exercising
+    the sparse/off-heap matrix paths.  Minutes each — bench-only. *)

@@ -1,16 +1,14 @@
 open Reseed_util
 
 let solve m =
-  let n_cols = Matrix.cols m in
-  let need = Bitvec.create n_cols in
-  for j = 0 to n_cols - 1 do
-    if not (Bitvec.is_empty (Matrix.col m j)) then Bitvec.set need j
-  done;
+  (* The coverable columns are exactly the matrix universe, maintained at
+     construction — no column view needed. *)
+  let need = Bitvec.copy (Matrix.universe m) in
   let chosen = ref [] in
   while not (Bitvec.is_empty need) do
     let best = ref (-1) and best_gain = ref 0 in
     for i = 0 to Matrix.rows m - 1 do
-      let gain = Bitvec.count_inter (Matrix.row m i) need in
+      let gain = Rowset.count_inter (Matrix.rowset m i) need in
       if gain > !best_gain then begin
         best := i;
         best_gain := gain
@@ -19,6 +17,6 @@ let solve m =
     (* Every needed column is coverable, so a positive-gain row exists. *)
     assert (!best >= 0);
     chosen := !best :: !chosen;
-    Bitvec.diff_into ~into:need (Matrix.row m !best)
+    Rowset.diff_into ~into:need (Matrix.rowset m !best)
   done;
   List.rev !chosen

@@ -49,11 +49,10 @@ let solve ?weights ?(node_limit = 2_000_000) ?budget m =
      raising: on an unreduced matrix with undetectable faults the exact
      method then degrades exactly like {!Greedy.solve}, which has always
      skipped them. *)
-  let all_need = Bitvec.create n_cols in
+  let all_need = Bitvec.copy (Matrix.universe m) in
   let uncovered = ref [] in
   for j = n_cols - 1 downto 0 do
-    if Bitvec.is_empty (Matrix.col m j) then uncovered := j :: !uncovered
-    else Bitvec.set all_need j
+    if not (Bitvec.get all_need j) then uncovered := j :: !uncovered
   done;
   (* Incumbent: greedy upper bound — also the anytime fallback returned
      when the node or wall-clock budget expires before the search ends. *)
@@ -130,13 +129,14 @@ let solve ?weights ?(node_limit = 2_000_000) ?budget m =
               if c <> 0 then c
               else
                 Stdlib.compare
-                  (Bitvec.count_inter (Matrix.row m b) need)
-                  (Bitvec.count_inter (Matrix.row m a) need))
+                  (Rowset.count_inter (Matrix.rowset m b) need)
+                  (Rowset.count_inter (Matrix.rowset m a) need))
             (Bitvec.to_list (Matrix.col m !pick))
         in
         List.iter
           (fun i ->
-            let need' = Bitvec.diff need (Matrix.row m i) in
+            let need' = Bitvec.copy need in
+            Rowset.diff_into ~into:need' (Matrix.rowset m i);
             branch need' (i :: chosen) (cost +. weights.(i)))
           candidates
       end

@@ -3,8 +3,10 @@ open Reseed_util
 type t = {
   n_rows : int;
   n_cols : int;
-  row_bits : Bitvec.t array; (* per row, over columns *)
-  col_bits : Bitvec.t array; (* per column, over rows *)
+  rows : Rowset.t array; (* per row, over columns *)
+  mutable n_ones : int; (* incremental: updated by [set] *)
+  mutable universe : Bitvec.t; (* union of all rows, over columns *)
+  mutable transpose : Bitvec.t array option; (* per column, over rows; lazy *)
 }
 
 let create ~rows ~cols =
@@ -12,52 +14,94 @@ let create ~rows ~cols =
   {
     n_rows = rows;
     n_cols = cols;
-    row_bits = Array.init rows (fun _ -> Bitvec.create cols);
-    col_bits = Array.init cols (fun _ -> Bitvec.create rows);
+    rows = Array.init rows (fun _ -> Rowset.dense_of_bitvec (Bitvec.create cols));
+    n_ones = 0;
+    universe = Bitvec.create cols;
+    transpose = None;
+  }
+
+let of_rowsets ~cols rows_arr =
+  let universe = Bitvec.create cols in
+  let ones = ref 0 in
+  Array.iter
+    (fun r ->
+      if Rowset.length r <> cols then
+        invalid_arg "Matrix.of_rowsets: row width mismatch";
+      ones := !ones + Rowset.count r;
+      Rowset.union_into ~into:universe r)
+    rows_arr;
+  {
+    n_rows = Array.length rows_arr;
+    n_cols = cols;
+    rows = rows_arr;
+    n_ones = !ones;
+    universe;
+    transpose = None;
   }
 
 let of_rows ~cols rows_arr =
-  let m = create ~rows:(Array.length rows_arr) ~cols in
-  Array.iteri
-    (fun i v ->
-      if Bitvec.length v <> cols then invalid_arg "Matrix.of_rows: row width mismatch";
-      Bitvec.iter_ones
-        (fun j ->
-          Bitvec.set m.row_bits.(i) j;
-          Bitvec.set m.col_bits.(j) i)
-        v)
-    rows_arr;
-  m
+  of_rowsets ~cols
+    (Array.map
+       (fun v ->
+         if Bitvec.length v <> cols then
+           invalid_arg "Matrix.of_rows: row width mismatch";
+         Rowset.of_bitvec v)
+       rows_arr)
 
 let rows m = m.n_rows
 let cols m = m.n_cols
 
 let set m ~row ~col =
-  Bitvec.set m.row_bits.(row) col;
-  Bitvec.set m.col_bits.(col) row
+  if not (Rowset.mem m.rows.(row) col) then begin
+    m.rows.(row) <- Rowset.add m.rows.(row) col;
+    m.n_ones <- m.n_ones + 1;
+    Bitvec.set m.universe col;
+    match m.transpose with
+    | Some t -> Bitvec.set t.(col) row
+    | None -> ()
+  end
 
-let get m ~row ~col = Bitvec.get m.row_bits.(row) col
+let get m ~row ~col = Rowset.mem m.rows.(row) col
 
-let row m i = m.row_bits.(i)
-let col m j = m.col_bits.(j)
+let rowset m i = m.rows.(i)
 
-let ones m = Array.fold_left (fun acc v -> acc + Bitvec.count v) 0 m.row_bits
+let row m i = Rowset.to_bitvec m.rows.(i)
+
+(* The transposed view is a one-shot shard: nothing scale-critical uses
+   it (the reduction and both solvers' hot paths are row-only), but the
+   exact end-game and the historical [col] API still read columns, so
+   the first call pays one pass over the rows and later calls are
+   free. *)
+let transpose m =
+  match m.transpose with
+  | Some t -> t
+  | None ->
+      let t = Array.init m.n_cols (fun _ -> Bitvec.create m.n_rows) in
+      Array.iteri
+        (fun i r -> Rowset.iter_ones (fun j -> Bitvec.unsafe_set t.(j) i) r)
+        m.rows;
+      m.transpose <- Some t;
+      t
+
+let col m j = (transpose m).(j)
+
+let universe m = m.universe
+
+let ones m = m.n_ones
 
 let density m =
   if m.n_rows = 0 || m.n_cols = 0 then 0.
-  else float_of_int (ones m) /. float_of_int (m.n_rows * m.n_cols)
+  else float_of_int m.n_ones /. float_of_int (m.n_rows * m.n_cols)
 
 let covers m ~rows_subset =
   let union = Bitvec.create m.n_cols in
-  List.iter (fun i -> Bitvec.union_into ~into:union m.row_bits.(i)) rows_subset;
-  let all = Bitvec.create m.n_cols in
-  Array.iter (fun v -> Bitvec.union_into ~into:all v) m.row_bits;
-  Bitvec.subset all union
+  List.iter (fun i -> Rowset.union_into ~into:union m.rows.(i)) rows_subset;
+  Bitvec.subset m.universe union
 
 let uncoverable m =
   let acc = ref [] in
   for j = m.n_cols - 1 downto 0 do
-    if Bitvec.is_empty m.col_bits.(j) then acc := j :: !acc
+    if not (Bitvec.get m.universe j) then acc := j :: !acc
   done;
   !acc
 

@@ -69,9 +69,7 @@ let run ?(config = default_config) ?row_weights m =
   in
   let row_active = Array.make n_rows true in
   let col_active = Array.make n_cols true in
-  let row_mask = Bitvec.create n_rows in
   let col_mask = Bitvec.create n_cols in
-  Bitvec.fill_all row_mask;
   Bitvec.fill_all col_mask;
   (* Columns no row covers can never be satisfied: drop them up front. *)
   List.iter
@@ -82,10 +80,7 @@ let run ?(config = default_config) ?row_weights m =
   let necessary = ref [] in
   let rows_dominated = ref 0 and cols_dominated = ref 0 in
   let cols_deduped = ref 0 in
-  let drop_row i =
-    row_active.(i) <- false;
-    Bitvec.clear row_mask i
-  in
+  let drop_row i = row_active.(i) <- false in
   let drop_col j =
     col_active.(j) <- false;
     Bitvec.clear col_mask j
@@ -93,23 +88,38 @@ let run ?(config = default_config) ?row_weights m =
   let select_row i =
     necessary := i :: !necessary;
     drop_row i;
-    Bitvec.iter_ones (fun j -> if col_active.(j) then drop_col j) (Matrix.row m i)
+    Rowset.iter_ones (fun j -> if col_active.(j) then drop_col j) (Matrix.rowset m i)
   in
+  (* Every pass below streams row-major over the row sets: the column
+     view is never materialised (beyond the bounded shard the dominance
+     pass builds for at most [col_dominance_limit] columns), so peak
+     memory stays O(rows + cols + shard) whatever the matrix size. *)
   let pass_essentials () =
     Trace.with_span "reduce.essentials" @@ fun () ->
     let changed = ref false in
+    (* One pass over the active rows: per active column, how many active
+       rows cover it and the lowest-indexed one.  Selecting a row during
+       the scan below removes only columns that row covers, so the
+       counts of the columns still active — which that row by definition
+       does not cover — are unchanged; the snapshot stays exact for the
+       whole pass. *)
+    let cover_count = Array.make n_cols 0 in
+    let cover_row = Array.make n_cols (-1) in
+    for i = n_rows - 1 downto 0 do
+      if row_active.(i) then
+        Rowset.iter_ones
+          (fun j ->
+            if col_active.(j) then begin
+              cover_count.(j) <- cover_count.(j) + 1;
+              (* Descending row scan: the last writer is the lowest row. *)
+              cover_row.(j) <- i
+            end)
+          (Matrix.rowset m i)
+    done;
     for j = 0 to n_cols - 1 do
-      if col_active.(j) then begin
-        let cover = Matrix.col m j in
-        let count = Bitvec.count_inter cover row_mask in
-        if count = 1 then begin
-          let r = ref (-1) in
-          Bitvec.iter_ones (fun i -> if !r < 0 && row_active.(i) then r := i) cover;
-          if !r >= 0 then begin
-            select_row !r;
-            changed := true
-          end
-        end
+      if col_active.(j) && cover_count.(j) = 1 && cover_row.(j) >= 0 then begin
+        select_row cover_row.(j);
+        changed := true
       end
     done;
     !changed
@@ -128,57 +138,124 @@ let run ?(config = default_config) ?row_weights m =
     done;
     !acc
   in
+  (* Row dominance drops exactly the rows that are non-maximal under the
+     strict partial order "covers a subset (within the active columns)
+     and is no cheaper, ties broken towards the lower index".  The order
+     is transitive even with weights (a dominator is never more
+     expensive than what it dominates), so the surviving set is unique —
+     the streaming pass may discover drops in any order and still land
+     on the sweep-to-fixpoint result of comparing all pairs. *)
   let pass_row_dominance () =
     Trace.with_span "reduce.row_dominance" @@ fun () ->
     let changed = ref false in
     let rows = Array.of_list (active_rows ()) in
     let counts =
-      Array.map (fun i -> Bitvec.count_inter (Matrix.row m i) col_mask) rows
+      Array.map (fun i -> Rowset.count_inter (Matrix.rowset m i) col_mask) rows
     in
     let n = Array.length rows in
+    (* Identical (masked) covers first, via one hash pass: the survivor
+       of each class is its cheapest, lowest-index member — the only one
+       the pairwise tie-break would keep. *)
+    let seen = Hashtbl.create (max 16 n) in
     for a = 0 to n - 1 do
       let i = rows.(a) in
-      if row_active.(i) then
-        for bidx = 0 to n - 1 do
-          let k = rows.(bidx) in
-          if k <> i && row_active.(i) && row_active.(k) && counts.(a) <= counts.(bidx)
-          then
-            (* Equal covers: drop the higher index only. *)
-            if
-              weight_ok ~dropped:i ~kept:k
-              && Bitvec.subset_masked (Matrix.row m i) (Matrix.row m k) ~mask:col_mask
-              && (counts.(a) < counts.(bidx) || tie_break ~dropped:i ~kept:k)
-            then begin
-              drop_row i;
-              incr rows_dominated;
-              changed := true
-            end
+      let key =
+        Rowset.fold_ones
+          (fun acc j -> if col_active.(j) then j :: acc else acc)
+          [] (Matrix.rowset m i)
+      in
+      match Hashtbl.find_opt seen key with
+      | None -> Hashtbl.add seen key a
+      | Some b ->
+          let k = rows.(b) in
+          if tie_break ~dropped:i ~kept:k && weight_ok ~dropped:i ~kept:k then begin
+            drop_row i;
+            incr rows_dominated;
+            changed := true
+          end
+          else if tie_break ~dropped:k ~kept:i && weight_ok ~dropped:k ~kept:i
+          then begin
+            drop_row k;
+            Hashtbl.replace seen key a;
+            incr rows_dominated;
+            changed := true
+          end
+    done;
+    (* Strict-subset dominance among the distinct survivors.  Equal
+       counts are either equal covers (already handled) or incomparable,
+       so only strictly larger rows can dominate. *)
+    let order = Array.init n (fun a -> a) in
+    Array.sort (fun a b -> compare counts.(a) counts.(b)) order;
+    let live = Array.init n (fun a -> row_active.(rows.(a))) in
+    for oa = 0 to n - 1 do
+      let a = order.(oa) in
+      if live.(a) then begin
+        let i = rows.(a) in
+        let ob = ref (n - 1) in
+        let dropped = ref false in
+        while (not !dropped) && !ob >= 0 && counts.(order.(!ob)) > counts.(a) do
+          let b = order.(!ob) in
+          let k = rows.(b) in
+          (* Compare against every distinct survivor of the dedup step,
+             dropped later by its own dominator or not: dominance is
+             transitive, so a transitive dominator always survives. *)
+          if
+            live.(b)
+            && weight_ok ~dropped:i ~kept:k
+            && Rowset.subset_masked (Matrix.rowset m i) (Matrix.rowset m k)
+                 ~mask:col_mask
+          then begin
+            drop_row i;
+            incr rows_dominated;
+            changed := true;
+            dropped := true
+          end;
+          decr ob
         done
+      end
     done;
     !changed
   in
   (* Identical columns (faults detected by exactly the same triplets) are
      rampant in detection matrices — every easy fault is covered by every
-     row.  Deduplicate them in one linear hash pass so the quadratic
-     dominance pass only sees distinct columns. *)
+     row.  Find the exact equivalence classes by partition refinement,
+     one row-major pass over the ones: columns start in one class and
+     each active row splits every class it straddles.  O(ones) time,
+     O(cols) memory, no transpose and no hashing of full row lists. *)
   let pass_col_dedup () =
     Trace.with_span "reduce.col_dedup" @@ fun () ->
-    let seen = Hashtbl.create 1024 in
     let changed = ref false in
+    let part = Array.make n_cols 0 in
+    let next_id = ref 1 in
+    let renamed = Hashtbl.create 64 in
+    for i = 0 to n_rows - 1 do
+      if row_active.(i) then begin
+        Hashtbl.reset renamed;
+        Rowset.iter_ones
+          (fun j ->
+            if col_active.(j) then
+              match Hashtbl.find_opt renamed part.(j) with
+              | Some id -> part.(j) <- id
+              | None ->
+                  let id = !next_id in
+                  incr next_id;
+                  Hashtbl.add renamed part.(j) id;
+                  part.(j) <- id)
+          (Matrix.rowset m i)
+      end
+    done;
+    (* Classmates not covered by a row keep the old id while the covered
+       ones move to a fresh one, so equal final ids <=> equal active-row
+       sets.  First-seen (lowest index) of each class survives. *)
+    let seen = Hashtbl.create 1024 in
     for j = 0 to n_cols - 1 do
-      if col_active.(j) then begin
-        let key =
-          Bitvec.fold_ones
-            (fun acc i -> if row_active.(i) then i :: acc else acc)
-            [] (Matrix.col m j)
-        in
-        if Hashtbl.mem seen key then begin
+      if col_active.(j) then
+        if Hashtbl.mem seen part.(j) then begin
           drop_col j;
           incr cols_deduped;
           changed := true
         end
-        else Hashtbl.add seen key ()
-      end
+        else Hashtbl.add seen part.(j) ()
     done;
     !changed
   in
@@ -202,9 +279,22 @@ let run ?(config = default_config) ?row_weights m =
     end
     else begin
       let changed = ref false in
-      let counts =
-        Array.map (fun j -> Bitvec.count_inter (Matrix.col m j) row_mask) cols
-      in
+      (* One-shot transposed shard restricted to the surviving columns —
+         at most [col_dominance_limit] x rows bits — filled in a single
+         row-major pass over the active rows. *)
+      let pos = Hashtbl.create (max 16 n) in
+      Array.iteri (fun a j -> Hashtbl.replace pos j a) cols;
+      let colbits = Array.init n (fun _ -> Bitvec.create n_rows) in
+      for i = 0 to n_rows - 1 do
+        if row_active.(i) then
+          Rowset.iter_ones
+            (fun j ->
+              match Hashtbl.find_opt pos j with
+              | Some a -> Bitvec.unsafe_set colbits.(a) i
+              | None -> ())
+            (Matrix.rowset m i)
+      done;
+      let counts = Array.map Bitvec.count colbits in
       for a = 0 to n - 1 do
         let c2 = cols.(a) in
         if col_active.(c2) then
@@ -216,7 +306,7 @@ let run ?(config = default_config) ?row_weights m =
             then
               (* rows(c1) ⊆ rows(c2): covering c1 implies covering c2. *)
               if
-                Bitvec.subset_masked (Matrix.col m c1) (Matrix.col m c2) ~mask:row_mask
+                Bitvec.subset colbits.(bidx) colbits.(a)
                 && (counts.(bidx) < counts.(a) || c2 > c1)
               then begin
                 drop_col c2;
@@ -246,7 +336,7 @@ let run ?(config = default_config) ?row_weights m =
   (* Rows left with no active column contribute nothing. *)
   List.iter
     (fun i ->
-      if Bitvec.count_inter (Matrix.row m i) col_mask = 0 then drop_row i)
+      if Rowset.count_inter (Matrix.rowset m i) col_mask = 0 then drop_row i)
     (active_rows ());
   Metrics.add m_iterations !iterations;
   Metrics.add m_essential (List.length !necessary);

@@ -1,0 +1,5 @@
+external peak_rss_kb : unit -> int = "reseed_peak_rss_kb"
+
+let peak_kb () =
+  let kb = peak_rss_kb () in
+  if kb < 0 then None else Some kb

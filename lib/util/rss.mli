@@ -1,0 +1,8 @@
+(** Process peak-memory accounting for the scale-tier bench. *)
+
+(** [peak_kb ()] is the peak resident set size of this process in
+    kilobytes, from [getrusage(2)], or [None] when the platform cannot
+    report it.  Monotone over the process lifetime: it never decreases,
+    so per-stage samples attribute a high-water mark to the first stage
+    that reached it. *)
+val peak_kb : unit -> int option

@@ -1,0 +1,18 @@
+/* Peak resident set size via getrusage(2), for the scale-tier bench.
+   ru_maxrss is kilobytes on Linux and bytes on macOS. */
+
+#include <caml/mlvalues.h>
+#include <sys/resource.h>
+
+CAMLprim value reseed_peak_rss_kb(value unit)
+{
+  struct rusage ru;
+  (void)unit;
+  if (getrusage(RUSAGE_SELF, &ru) != 0)
+    return Val_long(-1);
+#ifdef __APPLE__
+  return Val_long(ru.ru_maxrss / 1024);
+#else
+  return Val_long(ru.ru_maxrss);
+#endif
+}

@@ -11,4 +11,5 @@ let () =
    @ Test_ga_gatsby.suite @ Test_flow.suite @ Test_fullscan_misr.suite
    @ Test_diagnose.suite @ Test_parallel.suite @ Test_properties.suite
    @ Test_observability.suite @ Test_pipeline.suite
-   @ Test_robustness.suite @ Test_resilience.suite @ Test_integration.suite)
+   @ Test_robustness.suite @ Test_resilience.suite @ Test_scale.suite
+   @ Test_integration.suite)
