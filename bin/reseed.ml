@@ -10,6 +10,8 @@
      batch     run a manifest-driven multi-circuit campaign
      fullscan  extract the combinational core of a sequential circuit
      gen       emit a synthetic ISCAS-like circuit as a .bench file
+     chaos     crash-consistency harness: sweep fault injections over
+               child solve runs and check the solution never changes
 
    Circuits are named by catalog entry ("c432", "s1238", …), by a
    scaled-up xl-tier name ("s1238_x32": any catalog base with an _x2 to
@@ -17,7 +19,8 @@
 
    Exit codes (see Reseed_util.Error): 0 success (including
    deadline-degraded runs), 2 usage, 3 input, 4 infeasible, 5 worker
-   task failure, 70 internal, 130 interrupted. *)
+   task failure, 66 chaos abort crashpoint, 70 internal, 130
+   interrupted. *)
 
 open Cmdliner
 open Reseed_core
@@ -32,7 +35,9 @@ let load_circuit name ~scale =
 
 (* Uniform error containment: structured errors print as
    [file:line:col: message] and map to their documented exit code;
-   anything else is a bug and exits 70. *)
+   environment failures (filesystem, OS) are input errors; anything
+   else is a bug and exits 70 — no exception ever reaches OCaml's
+   default handler, whose exit code (2) would collide with Usage. *)
 let guard f =
   try f () with
   | Error.Reseed_error e ->
@@ -41,8 +46,15 @@ let guard f =
   | Pool.Task_error _ as e ->
       Printf.eprintf "reseed: %s\n%!" (Printexc.to_string e);
       exit (Error.exit_code Error.Task_failed)
-  | (Stack_overflow | Out_of_memory | Assert_failure _ | Match_failure _ | Failure _) as e
-    ->
+  | Sys_error m ->
+      Printf.eprintf "reseed: %s\n%!" m;
+      exit (Error.exit_code Error.Input_error)
+  | Unix.Unix_error (err, fn, arg) ->
+      Printf.eprintf "reseed: %s%s: %s\n%!" fn
+        (if arg = "" then "" else " " ^ arg)
+        (Unix.error_message err);
+      exit (Error.exit_code Error.Input_error)
+  | e ->
       Printf.eprintf "reseed: internal error: %s\n%!" (Printexc.to_string e);
       exit (Error.exit_code Error.Internal)
 
@@ -122,6 +134,13 @@ let metrics_arg =
 
 let cache_arg =
   Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc:"Content-addressed artifact store: completed pipeline stages (ATPG, matrix, reduce, solve, truncate) are persisted under $(docv) and reloaded on reruns.  Defaults to $(b,RESEED_CACHE) when set.")
+
+let chaos_arg =
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC" ~doc:"Deterministic fault injection schedule $(i,SEED:POINT=KIND[:ARG][@SEL][,...]) — a development/testing tool (see the manual).  Overrides $(b,RESEED_CHAOS).")
+
+let apply_chaos = function
+  | Some spec -> Faultpoint.configure_string spec
+  | None -> ()
 
 let cache_stats_line () =
   let v name = Metrics.value (Metrics.counter name) in
@@ -204,8 +223,9 @@ let atpg_cmd =
   let engine_arg =
     Arg.(value & opt engine_conv Reseed_atpg.Atpg.Podem_engine & info [ "engine" ] ~docv:"E" ~doc:"Deterministic engine: $(b,podem) or $(b,sat).")
   in
-  let run name scale engine deadline trace metrics =
+  let run name scale engine deadline chaos trace metrics =
     guard @@ fun () ->
+    apply_chaos chaos;
     setup_observability ~trace ~metrics;
     let budget = budget_with_sigint deadline in
     let c = load_circuit name ~scale in
@@ -228,8 +248,8 @@ let atpg_cmd =
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Run the deterministic ATPG on a circuit.")
     Term.(
-      const run $ circuit_arg $ scale_arg $ engine_arg $ deadline_arg $ trace_arg
-      $ metrics_arg)
+      const run $ circuit_arg $ scale_arg $ engine_arg $ deadline_arg $ chaos_arg
+      $ trace_arg $ metrics_arg)
 
 (* solve *)
 
@@ -255,8 +275,9 @@ let solve_cmd =
     Arg.(value & opt objective_conv Flow.Min_triplets & info [ "objective" ] ~docv:"O" ~doc:"$(b,triplets) (paper) or $(b,length) (weighted extension).")
   in
   let run name scale tpg_kind cycles method_ verify objective deadline jobs checkpoint
-      cache trace metrics =
+      cache chaos trace metrics =
     guard @@ fun () ->
+    apply_chaos chaos;
     setup_observability ~trace ~metrics;
     let budget = budget_with_sigint deadline in
     with_jobs jobs @@ fun pool ->
@@ -313,8 +334,8 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Compute a minimal reseeding solution (set covering flow).")
     Term.(
       const run $ circuit_arg $ scale_arg $ tpg_arg $ cycles_arg $ method_arg $ verify_arg
-      $ objective_arg $ deadline_arg $ jobs_arg $ checkpoint_arg $ cache_arg $ trace_arg
-      $ metrics_arg)
+      $ objective_arg $ deadline_arg $ jobs_arg $ checkpoint_arg $ cache_arg $ chaos_arg
+      $ trace_arg $ metrics_arg)
 
 (* gatsby *)
 
@@ -391,8 +412,9 @@ let batch_cmd =
   let report_arg =
     Arg.(value & opt string "batch_report.json" & info [ "report" ] ~docv:"FILE" ~doc:"Write the aggregated campaign report to $(docv).")
   in
-  let run manifest_path report deadline jobs cache trace metrics =
+  let run manifest_path report deadline jobs cache chaos trace metrics =
     guard @@ fun () ->
+    apply_chaos chaos;
     setup_observability ~trace ~metrics;
     let budget = budget_with_sigint deadline in
     let store = Artifact.resolve ?dir:cache () in
@@ -431,7 +453,7 @@ let batch_cmd =
        ~doc:"Run a manifest-driven campaign: circuits × TPGs × evolution lengths in parallel, with per-job deadlines and an aggregated JSON report.  With $(b,--cache), an interrupted campaign resumes from its completed stages and reproduces the report byte-for-byte.")
     Term.(
       const run $ manifest_arg $ report_arg $ deadline_arg $ jobs_arg $ cache_arg
-      $ trace_arg $ metrics_arg)
+      $ chaos_arg $ trace_arg $ metrics_arg)
 
 (* fullscan *)
 
@@ -469,6 +491,147 @@ let gen_cmd =
   Cmd.v (Cmd.info "gen" ~doc:"Emit a catalog circuit as an ISCAS .bench file.")
     Term.(const run $ circuit_arg $ scale_arg $ out_arg)
 
+(* chaos — crash-consistency harness.
+
+   Sweeps every registered faultpoint × a set of fault kinds, each leg a
+   child [reseed solve] process with a one-shot injection ([@1]) into a
+   fresh cache + checkpoint.  A leg passes when the run either
+   - exits 0 with output byte-identical to a clean reference run
+     (the fault healed through retries, or never fired), or
+   - exits with a documented failure code (the fault surfaced as a
+     diagnostic, never a wrong answer), or
+   - aborts at the crashpoint (exit 66) and a chaos-free rerun against
+     the same cache/checkpoint then reproduces the reference exactly
+     (crash consistency: the interrupted state is resumable). *)
+
+let chaos_cmd =
+  let circuit_arg =
+    Arg.(value & pos 0 string "c432" & info [] ~docv:"CIRCUIT" ~doc:"Circuit the harness sweeps (catalog name or .bench file).")
+  in
+  let kind_conv =
+    Arg.enum (List.map (fun k -> (Faultpoint.kind_name k, k)) Faultpoint.all_kinds)
+  in
+  let kinds_arg =
+    Arg.(value & opt (list kind_conv) Faultpoint.[ Eio; Enospc; Torn; Flip; Fail; Abort ] & info [ "kinds" ] ~docv:"K1,K2,.." ~doc:"Fault kinds to sweep (default: all but latency).")
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error _ -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter
+          (fun n -> rm_rf (Filename.concat path n))
+          (try Sys.readdir path with Sys_error _ -> [||]);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  in
+  (* The child must not inherit the harness's own schedule: injection
+     reaches it only through an explicit --chaos. *)
+  let child_env () =
+    Array.of_list
+      (List.filter
+         (fun s -> not (String.starts_with ~prefix:"RESEED_CHAOS=" s))
+         (Array.to_list (Unix.environment ())))
+  in
+  let run_child args ~out_file =
+    let fd = Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    let pid =
+      Unix.create_process_env Sys.executable_name
+        (Array.of_list (Sys.executable_name :: args))
+        (child_env ()) Unix.stdin fd Unix.stderr
+    in
+    Unix.close fd;
+    match snd (Unix.waitpid [] pid) with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED s | Unix.WSTOPPED s -> 128 + s
+  in
+  (* Cache and checkpoint statistics legitimately differ between cold,
+     faulted and resumed runs; everything else must be byte-identical. *)
+  let filtered_output file =
+    In_channel.with_open_bin file In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l ->
+           not
+             (String.starts_with ~prefix:"cache:" l
+             || String.starts_with ~prefix:"checkpoint:" l))
+    |> String.concat "\n"
+  in
+  let run circuit seed kinds jobs =
+    guard @@ fun () ->
+    Faultpoint.disable ();
+    let jobs = Option.value jobs ~default:2 in
+    let root =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "reseed-chaos-%d" (Unix.getpid ()))
+    in
+    rm_rf root;
+    Artifact.mkdir_p root;
+    Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+    let n = ref 0 in
+    let fresh_leg () =
+      incr n;
+      let dir = Filename.concat root (Printf.sprintf "leg-%03d" !n) in
+      let sub s = Filename.concat dir s in
+      Artifact.mkdir_p dir;
+      (sub "cache", sub "ckpt", sub "out")
+    in
+    let solve_args ~cache ~ckpt chaos =
+      [ "solve"; circuit; "--jobs"; string_of_int jobs; "--cache"; cache;
+        "--checkpoint"; ckpt ]
+      @ (match chaos with Some s -> [ "--chaos"; s ] | None -> [])
+    in
+    let reference =
+      let cache, ckpt, out = fresh_leg () in
+      let code = run_child (solve_args ~cache ~ckpt None) ~out_file:out in
+      if code <> 0 then
+        Error.fail Error.Internal "chaos: clean reference run exited %d" code;
+      filtered_output out
+    in
+    let documented =
+      List.map Error.exit_code
+        Error.[ Usage; Input_error; Infeasible; Task_failed; Internal; Interrupted ]
+    in
+    let failures = ref 0 in
+    let leg point kind =
+      let spec =
+        Printf.sprintf "%d:%s=%s@1" seed point (Faultpoint.kind_name kind)
+      in
+      let cache, ckpt, out = fresh_leg () in
+      let code = run_child (solve_args ~cache ~ckpt (Some spec)) ~out_file:out in
+      let ok, detail =
+        if code = 0 then
+          if filtered_output out = reference then (true, "healed, output identical")
+          else (false, "exit 0 but output diverged")
+        else if code = Faultpoint.abort_exit_code then begin
+          let _, _, out2 = fresh_leg () in
+          let rcode = run_child (solve_args ~cache ~ckpt None) ~out_file:out2 in
+          if rcode = 0 && filtered_output out2 = reference then
+            (true, "aborted, resume identical")
+          else (false, Printf.sprintf "aborted, resume exit %d/diverged" rcode)
+        end
+        else if List.mem code documented then
+          (true, Printf.sprintf "documented failure (exit %d)" code)
+        else (false, Printf.sprintf "undocumented exit %d" code)
+      in
+      if not ok then incr failures;
+      Printf.printf "  %-20s %-8s %-4s %s\n%!" point (Faultpoint.kind_name kind)
+        (if ok then "ok" else "FAIL")
+        detail
+    in
+    let points = Faultpoint.all () in
+    Printf.printf "chaos: %s, seed %d, %d jobs, %d points x %d kinds\n%!" circuit
+      seed jobs (List.length points) (List.length kinds);
+    List.iter (fun p -> List.iter (leg p) kinds) points;
+    if !failures > 0 then begin
+      Printf.printf "chaos: %d leg(s) FAILED\n" !failures;
+      exit 1
+    end
+    else Printf.printf "chaos: all %d legs passed\n" (List.length points * List.length kinds)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Crash-consistency harness: inject one fault per registered faultpoint into child solve runs and check the solution is byte-identical, a documented failure, or resumable after an abort.")
+    Term.(const run $ circuit_arg $ seed_arg $ kinds_arg $ jobs_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info_ = Cmd.info "reseed" ~version:"1.0.0" ~doc:"Set-covering reseeding for Functional BIST (DATE 2001 reproduction)." in
@@ -484,6 +647,7 @@ let () =
            batch_cmd;
            fullscan_cmd;
            gen_cmd;
+           chaos_cmd;
          ])
   in
   (* Cmdliner reports CLI parse errors as 124; the documented usage code

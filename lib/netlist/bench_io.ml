@@ -210,7 +210,15 @@ let to_string (c : Circuit.t) =
     c.nodes;
   Buffer.contents buf
 
+let fp_write = Faultpoint.register "bench.write"
+
 let write_file path c =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
-      output_string oc (to_string c))
+  (* Serialise before opening the file, so a serialisation failure never
+     leaves a truncated netlist behind. *)
+  let text = to_string c in
+  let data = Faultpoint.mangle fp_write text in
+  try
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+        output_string oc data)
+  with Sys_error m -> fail "cannot write %s: %s" path m

@@ -7,9 +7,23 @@ let version = 1
    payload length u32 + payload checksum u64 *)
 let header_bytes = 4 + 4 + 8 + 8 + 4 + 8
 
+let fp_read = Faultpoint.register "artifact.read"
+let fp_write = Faultpoint.register "artifact.write"
+let fp_publish = Faultpoint.register "artifact.publish"
+
+(* Reads are always recoverable — a missing or unreadable blob is a
+   cache miss, never an error — so transient read failures (including
+   injected ones) are retried and anything that survives degrades to
+   [None].  The payload passes the [artifact.read] data point, so chaos
+   schedules can corrupt it in flight and exercise the checksum path. *)
 let read_opt path =
-  try Some (In_channel.with_open_bin path In_channel.input_all)
-  with Sys_error _ -> None
+  match
+    Retry.run ~label:"artifact.read" (fun ~attempt:_ ->
+        try Some (Faultpoint.mangle fp_read (In_channel.with_open_bin path In_channel.input_all))
+        with Sys_error _ -> None)
+  with
+  | Ok r -> r
+  | Error _ -> None
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -24,14 +38,56 @@ let rec mkdir_p dir =
   else if not (Sys.is_directory dir) then
     Error.fail Error.Input_error "artifact path %s is not a directory" dir
 
-(* Crash-safe write: the file appears under its final name only complete. *)
+(* Directory fsync makes the rename itself durable.  Some filesystems
+   refuse to open or fsync a directory; that only weakens durability, so
+   it stays best-effort rather than failing the write. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let write_fd fd data =
+  let n = String.length data in
+  let pos = ref 0 in
+  while !pos < n do
+    pos := !pos + Unix.write_substring fd data !pos (n - !pos)
+  done
+
+(* Crash-safe, durable write: the payload is written to a [.tmp] sibling
+   and fsynced, renamed into place, and the parent directory fsynced —
+   so the file appears under its final name only complete, and a crash
+   immediately after publish cannot roll it back to a zero-length or
+   missing blob.  Transient failures are retried with backoff; each
+   attempt passes the [artifact.write] data point (payload mangling, IO
+   errors) and the [artifact.publish] control point (crashpoints between
+   write and rename). *)
 let write_atomic path data =
   mkdir_p (Filename.dirname path);
   let tmp = path ^ ".tmp" in
   try
-    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data);
-    Sys.rename tmp path
-  with Sys_error m -> Error.fail Error.Input_error "artifact write failed: %s" m
+    Retry.with_retries ~label:"artifact.write" (fun ~attempt:_ ->
+        let payload = Faultpoint.mangle fp_write data in
+        let fd =
+          Unix.openfile tmp
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+            0o644
+        in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            write_fd fd payload;
+            Unix.fsync fd);
+        Faultpoint.hit fp_publish;
+        Sys.rename tmp path;
+        fsync_dir (Filename.dirname path))
+  with
+  | Sys_error m -> Error.fail Error.Input_error "artifact write failed: %s" m
+  | Unix.Unix_error (e, _, _) ->
+      Error.fail Error.Input_error "artifact write failed: %s: %s" path
+        (Unix.error_message e)
 
 module Codec = struct
   let u32 b v =
@@ -258,6 +314,16 @@ let m_writes = Metrics.counter ~help:"artifacts persisted" "artifact_writes"
 let m_corrupt =
   Metrics.counter ~help:"artifacts rejected as corrupt (recomputed)" "artifact_corrupt"
 
+let m_rewrites =
+  Metrics.counter
+    ~help:"corrupt artifacts overwritten by a recomputed payload"
+    "artifact_rewrites"
+
+let m_save_failures =
+  Metrics.counter
+    ~help:"artifact saves that failed (result kept, cache not updated)"
+    "artifact_write_failures"
+
 let load t ~stage fp =
   match read_opt (path t ~stage fp) with
   | None -> None
@@ -310,6 +376,20 @@ let cached store ~stage ~fp ~encode:enc ~decode:dec compute =
       | None ->
           Metrics.incr m_misses;
           Metrics.incr (stage_counter stage "misses");
+          (* A blob that exists but failed to load is corrupt: saving the
+             recomputed payload over it is a rewrite worth counting. *)
+          let corrupt_on_disk = Sys.file_exists (path t ~stage fp) in
           let v = compute () in
-          (match enc v with Some payload -> save t ~stage fp payload | None -> ());
+          (match enc v with
+          | None -> ()
+          | Some payload -> (
+              (* The cache is an accelerator: a result we already hold is
+                 never lost to a failed save.  The failure is counted and
+                 traced, and the store simply misses again next run. *)
+              match save t ~stage fp payload with
+              | () -> if corrupt_on_disk then Metrics.incr m_rewrites
+              | exception Error.Reseed_error _ ->
+                  Metrics.incr m_save_failures;
+                  Trace.instant "artifact.save_failed"
+                    ~args:[ ("stage", stage); ("fp", Fingerprint.to_hex fp) ]));
           v)

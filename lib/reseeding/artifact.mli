@@ -14,26 +14,40 @@
     {!Checkpoint} row store, which is now a thin client of the same
     codec):
 
-    - {e write-then-rename}: an artifact appears under its final name
-      only complete; a crash leaves at most a [.tmp] orphan;
+    - {e write-then-rename, fsynced}: an artifact appears under its
+      final name only complete; the payload is fsynced before the rename
+      and the parent directory after it, so a published blob survives a
+      crash.  A crash mid-write leaves at most a [.tmp] orphan;
     - {e checksummed}: every blob carries magic, format version, kind
       tag, fingerprint and an FNV-1a payload checksum; any defect makes
       {!load} return [None] and the stage recomputes — corruption can
       cost time, never correctness;
     - {e only complete results are stored}: callers pass [None] from
-      their encoder when a budget degraded the result.
+      their encoder when a budget degraded the result;
+    - {e retried}: reads and writes go through the shared {!Retry}
+      policy ([RESEED_RETRIES]), so transient IO errors heal before they
+      surface.
+
+    Fault injection: reads pass the [artifact.read] {!Faultpoint} (data
+    point — payloads can be mangled in flight to exercise the checksum
+    path), writes pass [artifact.write] (data point, per attempt) and
+    [artifact.publish] (control point between the fsynced [.tmp] write
+    and the rename — the crash-consistency window).
 
     The store root comes from the [RESEED_CACHE] environment variable or
     an explicit directory ([--cache] on the CLI). *)
 
 open Reseed_util
 
-(** [read_opt path] is the file's contents, or [None] when unreadable. *)
+(** [read_opt path] is the file's contents, or [None] when unreadable
+    (after transient failures have been retried). *)
 val read_opt : string -> string option
 
-(** [write_atomic path data] writes to [path ^ ".tmp"] and renames into
-    place.  Creates the parent directory.  Raises {!Error.Reseed_error}
-    ([Input_error]) on filesystem failure. *)
+(** [write_atomic path data] writes to [path ^ ".tmp"], fsyncs it,
+    renames into place and fsyncs the parent directory (best-effort on
+    filesystems that refuse directory fsync).  Creates the parent
+    directory.  Transient failures are retried; what survives raises
+    {!Error.Reseed_error} ([Input_error]). *)
 val write_atomic : string -> string -> unit
 
 (** [mkdir_p dir] — [mkdir -p], raising {!Error.Reseed_error} on failure
@@ -129,11 +143,17 @@ val save : store -> stage:string -> Fingerprint.t -> string -> unit
     [Some] ([None] marks a degraded result that must not be reused).
     [store = None] is a transparent pass-through to [compute].
 
+    The cache is an accelerator, never a point of failure: if the save
+    of a recomputed result fails even after retries, the result is still
+    returned — the failure only bumps [artifact_write_failures] and the
+    store misses again next run.
+
     Work accounting: bumps [artifact_hits] / [artifact_misses] /
     [artifact_corrupt] / [artifact_writes] plus the per-stage
-    [stage_<stage>_cache_hits] / [stage_<stage>_cache_misses] counters,
-    and records a trace instant on every hit — the observability the
-    warm-vs-cold acceptance gates read. *)
+    [stage_<stage>_cache_hits] / [stage_<stage>_cache_misses] counters;
+    [artifact_rewrites] counts corrupt blobs overwritten by a recomputed
+    payload.  Records a trace instant on every hit — the observability
+    the warm-vs-cold acceptance gates read. *)
 val cached :
   store option ->
   stage:string ->

@@ -141,6 +141,11 @@ let m_skipped =
   Metrics.counter ~help:"batch jobs skipped (campaign budget expired)"
     "batch_jobs_skipped"
 
+(* Chaos schedules can fail or stall whole campaign jobs here; the pool's
+   retry policy then re-runs the job chunk, exercising idempotent job
+   re-execution against the shared prepared workloads. *)
+let fp_job = Faultpoint.register "batch.job"
+
 let skipped_result job =
   {
     job;
@@ -173,6 +178,7 @@ let run ?pool ?store ?budget ?on_done manifest =
     (fun ~worker:_ ~lo ~hi ->
       for i = lo to hi - 1 do
         let job = jobs.(i) in
+        Faultpoint.hit fp_job;
         if Budget.check budget then Metrics.incr m_skipped
         else begin
           let job_budget =

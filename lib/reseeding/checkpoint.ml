@@ -54,6 +54,8 @@ let chunk_name lo hi = Printf.sprintf "chunk-%06d-%06d.ck" lo hi
 let m_chunks =
   Metrics.counter ~help:"checkpoint chunk files written" "checkpoint_chunks_written"
 
+let fp_store = Faultpoint.register "checkpoint.store"
+
 let store t ~lo ~hi ~useful ~row =
   if not (0 <= lo && lo < hi && hi <= t.rows) then
     invalid_arg "Checkpoint.store: row range";
@@ -68,10 +70,16 @@ let store t ~lo ~hi ~useful ~row =
     if Bitvec.length bits <> t.cols then invalid_arg "Checkpoint.store: row width";
     Artifact.Codec.bitvec payload bits
   done;
-  Artifact.write_atomic
-    (Filename.concat t.dir (chunk_name lo hi))
-    (Artifact.encode ~kind:chunk_kind ~fingerprint:t.fingerprint
-       (Buffer.contents payload))
+  let blob =
+    Artifact.encode ~kind:chunk_kind ~fingerprint:t.fingerprint
+      (Buffer.contents payload)
+  in
+  (* Chunk stores run between parallel regions, so they carry their own
+     retry envelope — a transient failure costs one rewrite of an
+     idempotent chunk file, never the build. *)
+  Retry.with_retries ~label:"checkpoint.store" (fun ~attempt:_ ->
+      Faultpoint.hit fp_store;
+      Artifact.write_atomic (Filename.concat t.dir (chunk_name lo hi)) blob)
 
 (* Parse one chunk file; any structural defect — wrong magic or version,
    foreign fingerprint, short or oversized file, bad checksum — makes the

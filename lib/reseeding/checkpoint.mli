@@ -13,9 +13,12 @@
     - the row range, the column count, the payload length and a payload
       checksum.
 
-    Files are written to a [.tmp] name and renamed into place, so a chunk
-    either exists complete or not at all; a truncated or corrupt chunk is
-    simply ignored on {!restore} and its rows re-simulated. *)
+    Files are written to a [.tmp] name, fsynced, renamed into place and
+    the directory fsynced (via {!Artifact.write_atomic}), so a chunk
+    either exists complete and durable or not at all; a truncated or
+    corrupt chunk is simply ignored on {!restore} and its rows
+    re-simulated.  {!store} passes the [checkpoint.store] {!Faultpoint}
+    and retries transient failures through the shared {!Retry} policy. *)
 
 open Reseed_util
 
@@ -47,7 +50,8 @@ val dir : t -> string
 
 (** [store t ~lo ~hi ~useful ~row] persists rows [lo..hi-1] as one chunk:
     [useful i] is the row's useful-cycle count, [row i] its detection
-    bitvector (width [cols]).  Atomic: write-then-rename. *)
+    bitvector (width [cols]).  Atomic and durable: fsynced
+    write-then-rename, retried on transient failure. *)
 val store : t -> lo:int -> hi:int -> useful:(int -> int) -> row:(int -> Bitvec.t) -> unit
 
 (** [restore t f] calls [f ~row ~useful bits] for every row of every

@@ -11,16 +11,18 @@ exception
     lo : int;
     hi : int;
     attempts : int;
+    backoff_s : float;
     exn : exn;
   }
 
 let () =
   Printexc.register_printer (function
-    | Task_error { label; worker; lo; hi; attempts; exn } ->
+    | Task_error { label; worker; lo; hi; attempts; backoff_s; exn } ->
         Some
           (Printf.sprintf
-             "Pool.Task_error(task %S, worker %d, chunk [%d,%d), %d attempts: %s)"
-             label worker lo hi attempts (Printexc.to_string exn))
+             "Pool.Task_error(task %S, worker %d, chunk [%d,%d), %d attempts, \
+              %.3fs backoff: %s)"
+             label worker lo hi attempts backoff_s (Printexc.to_string exn))
     | _ -> None)
 
 type job = {
@@ -59,20 +61,36 @@ let default_jobs () =
     | _ -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
-(* A chunk that raises is retried once on the same worker before the job
-   is declared failed — transient faults (resource blips, interrupted
-   syscalls) heal; deterministic ones cost one duplicate run.  Chunk
-   bodies therefore must be idempotent per index (every combinator here
-   writes result slot [i] from task [i], which is).  The surviving
-   exception is wrapped in {!Task_error} so the caller learns which task,
-   worker and index range failed. *)
-let run_body j ~worker ~lo ~hi =
-  try j.body ~worker ~lo ~hi with
-  | Task_error _ as e -> raise e (* already contained (and retried) deeper down *)
-  | _first -> (
-      try j.body ~worker ~lo ~hi
-      with e ->
-        raise (Task_error { label = j.label; worker; lo; hi; attempts = 2; exn = e }))
+(* A chunk that raises is retried on the same worker through the shared
+   {!Retry} policy (RESEED_RETRIES, default one retry with backoff)
+   before the job is declared failed — transient faults (resource blips,
+   interrupted syscalls, injected chaos) heal; deterministic ones cost
+   duplicate runs.  Chunk bodies therefore must be idempotent per index
+   (every combinator here writes result slot [i] from task [i], which
+   is).  The surviving exception is wrapped in {!Task_error} with the
+   attempt count and total backoff, so failures in a fleet of domains
+   stay attributable.  Structured {!Error.Reseed_error} diagnostics and
+   already-contained nested {!Task_error}s are permanent: retrying a
+   documented failure only duplicates its side effects. *)
+let task_classify = function
+  | Task_error _ | Error.Reseed_error _ -> Retry.Permanent
+  | _ -> Retry.Transient
+
+let fp_task = Faultpoint.register "pool.task"
+
+let run_chunk_retrying ~label body ~worker ~lo ~hi =
+  match
+    Retry.run ~classify:task_classify ~label (fun ~attempt:_ ->
+        Faultpoint.hit fp_task;
+        body ~worker ~lo ~hi)
+  with
+  | Ok () -> ()
+  | Error { Retry.exn = Task_error _ as e; _ } ->
+      raise e (* already contained (and retried) deeper down *)
+  | Error { Retry.attempts; backoff_s; exn } ->
+      raise (Task_error { label; worker; lo; hi; attempts; backoff_s; exn })
+
+let run_body j ~worker ~lo ~hi = run_chunk_retrying ~label:j.label j.body ~worker ~lo ~hi
 
 (* Every claimed chunk is accounted exactly once, run or skipped, so
    [completed = total] is the completion condition even after a failure. *)
@@ -177,12 +195,7 @@ let default () =
 let resolve = function Some t -> t | None -> default ()
 
 let run_inline ~label ~total body =
-  try body ~worker:0 ~lo:0 ~hi:total with
-  | Task_error _ as e -> raise e
-  | _first -> (
-      try body ~worker:0 ~lo:0 ~hi:total
-      with e ->
-        raise (Task_error { label; worker = 0; lo = 0; hi = total; attempts = 2; exn = e }))
+  run_chunk_retrying ~label body ~worker:0 ~lo:0 ~hi:total
 
 let parallel_for ?pool ?chunk ?(label = "parallel region") ~total body =
   if total > 0 then begin

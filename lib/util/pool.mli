@@ -19,19 +19,25 @@
 type t
 
 (** Raised by the [parallel_*] combinators when a chunk body keeps
-    failing: the chunk is retried once on the same worker (transient
-    faults heal; bodies must be idempotent per index, which every slot-
-    writing combinator here is), then the surviving exception is wrapped
-    with its task context — the region's [label], the worker slot and the
-    index range — so failures in a fleet of domains stay attributable.
-    The first failing chunk wins; chunks not yet started are skipped. *)
+    failing: the chunk is retried on the same worker through the shared
+    {!Retry} policy — [RESEED_RETRIES] retries (default 1) with
+    exponential, deterministically jittered backoff — so transient
+    faults heal (bodies must be idempotent per index, which every slot-
+    writing combinator here is).  {!Error.Reseed_error} diagnostics are
+    classified permanent and never retried.  The surviving exception is
+    wrapped with its task context — the region's [label], the worker
+    slot, the index range, the attempt count and the total backoff — so
+    failures in a fleet of domains stay attributable.  The first failing
+    chunk wins; chunks not yet started are skipped.  Every chunk attempt
+    also passes the [pool.task] {!Faultpoint}. *)
 exception
   Task_error of {
     label : string;  (** the [?label] of the failed region *)
     worker : int;  (** participant slot that ran the chunk *)
     lo : int;  (** failed index range, [lo] inclusive *)
     hi : int;  (** … [hi] exclusive *)
-    attempts : int;  (** runs of the chunk body, including the retry *)
+    attempts : int;  (** runs of the chunk body, including retries *)
+    backoff_s : float;  (** total time spent backing off between attempts *)
     exn : exn;  (** the underlying exception (last attempt's) *)
   }
 

@@ -12,4 +12,4 @@ let () =
    @ Test_diagnose.suite @ Test_parallel.suite @ Test_properties.suite
    @ Test_observability.suite @ Test_pipeline.suite
    @ Test_robustness.suite @ Test_resilience.suite @ Test_scale.suite
-   @ Test_integration.suite)
+   @ Test_chaos.suite @ Test_integration.suite)
