@@ -260,10 +260,11 @@ let solve_cmd =
         ("exact", Reseed_setcover.Solution.Exact);
         ("greedy", Reseed_setcover.Solution.Greedy_only);
         ("noreduce", Reseed_setcover.Solution.No_reduction_exact);
+        ("portfolio", Reseed_setcover.Solution.Portfolio_race);
       ]
   in
   let method_arg =
-    Arg.(value & opt method_conv Reseed_setcover.Solution.Exact & info [ "method" ] ~docv:"M" ~doc:"Covering method: $(b,exact), $(b,greedy) or $(b,noreduce).")
+    Arg.(value & opt method_conv Reseed_setcover.Solution.Exact & info [ "method" ] ~docv:"M" ~doc:"Covering method: $(b,exact), $(b,greedy), $(b,noreduce) or $(b,portfolio) (racing exact/SAT/GRASP legs).")
   in
   let verify_arg =
     Arg.(value & flag & info [ "verify" ] ~doc:"Re-simulate the final solution from scratch.")
@@ -308,6 +309,28 @@ let solve_cmd =
       stats.Reseed_setcover.Solution.reduced_cols;
     Printf.printf "from exact solver: %d\n"
       (List.length stats.Reseed_setcover.Solution.from_solver);
+    (match stats.Reseed_setcover.Solution.uncovered with
+    | [] -> ()
+    | u ->
+        Printf.printf "warning: %d columns coverable by no triplet (skipped)\n"
+          (List.length u));
+    (match stats.Reseed_setcover.Solution.portfolio_winner with
+    | None -> ()
+    | Some winner ->
+        Printf.printf "portfolio: winner %s, %s\n" winner
+          (Reseed_setcover.Ilp.stop_reason_name
+             stats.Reseed_setcover.Solution.solver_stop);
+        List.iter
+          (fun l ->
+            Printf.printf
+              "  leg %-5s rounds %d  work %d  best %s  improvements %d%s\n"
+              l.Reseed_setcover.Portfolio.leg l.Reseed_setcover.Portfolio.rounds
+              l.Reseed_setcover.Portfolio.work
+              (if l.Reseed_setcover.Portfolio.best_cost = infinity then "-"
+               else Printf.sprintf "%g" l.Reseed_setcover.Portfolio.best_cost)
+              l.Reseed_setcover.Portfolio.improvements
+              (if l.Reseed_setcover.Portfolio.proved then "  PROVED" else ""))
+          stats.Reseed_setcover.Solution.portfolio_legs);
     if checkpoint <> None then
       Printf.printf "checkpoint: %d rows restored, %d rows skipped\n"
         r.Flow.initial.Builder.rows_restored r.Flow.initial.Builder.rows_skipped;

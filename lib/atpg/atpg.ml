@@ -82,7 +82,7 @@ let run ?(config = default_config) ?budget sim =
         Podem.generate c fault ~rng ~max_backtracks:config.max_backtracks
           ?budget ~testability ~stats:podem_stats ()
     | Sat_engine -> (
-        match Satpg.generate c fault () with
+        match Satpg.generate c fault ?budget () with
         | Satpg.Test t -> Podem.Test t
         | Satpg.Untestable -> Podem.Untestable
         | Satpg.Aborted -> Podem.Aborted)

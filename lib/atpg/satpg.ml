@@ -64,7 +64,7 @@ let emit_gate solver ~fresh y kind args =
         add [ y; final ]
       end
 
-let generate c fault ?(max_conflicts = 200_000) () =
+let generate c fault ?(max_conflicts = 200_000) ?budget () =
   Trace.with_span "satpg.generate" @@ fun () ->
   let n = Circuit.node_count c in
   let site = Fault.site_node fault in
@@ -139,7 +139,7 @@ let generate c fault ?(max_conflicts = 200_000) () =
         end)
       c.Circuit.outputs;
     Sat.add_clause solver !diff_lits;
-    match Sat.solve ~max_conflicts solver with
+    match Sat.solve ~max_conflicts ?budget solver with
     | Sat.Unsat -> Untestable
     | Sat.Unknown -> Aborted
     | Sat.Sat model ->

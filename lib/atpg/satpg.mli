@@ -18,9 +18,12 @@ type outcome =
   | Untestable
   | Aborted  (** SAT conflict budget exhausted *)
 
-(** [generate c fault ?max_conflicts ()] derives a test or a redundancy
-    proof. *)
-val generate : Circuit.t -> Fault.t -> ?max_conflicts:int -> unit -> outcome
+(** [generate c fault ?max_conflicts ?budget ()] derives a test or a
+    redundancy proof.  [budget] bounds the SAT search by wall clock in
+    addition to the conflict limit: an expired budget aborts the fault
+    ([Aborted]) instead of overrunning a [--deadline] mid-search. *)
+val generate :
+  Circuit.t -> Fault.t -> ?max_conflicts:int -> ?budget:Budget.t -> unit -> outcome
 
 (** [generate_checked c fault ~rng ()] — same, but the returned pattern
     is re-verified through the fault simulator (raises [Failure] if the

@@ -72,7 +72,10 @@ let parse_string ?(path = "<manifest>") text =
                 | "exact" -> method_ := Solution.Exact
                 | "greedy" -> method_ := Solution.Greedy_only
                 | "noreduce" -> method_ := Solution.No_reduction_exact
-                | _ -> fail_line line "unknown method %S (exact|greedy|noreduce)" v)
+                | "portfolio" -> method_ := Solution.Portfolio_race
+                | _ ->
+                    fail_line line
+                      "unknown method %S (exact|greedy|noreduce|portfolio)" v)
             | "objective" -> (
                 match v with
                 | "triplets" -> objective := Flow.Min_triplets

@@ -188,10 +188,11 @@ let decode_truncate ~targets r =
 (* Mirror of [Solution.solve] with each expensive leg memoised in the
    artifact store.  The stats record is assembled field-for-field the
    same way, so staged and plain runs are bit-identical. *)
-let staged_solve ~method_ ~reduce ?row_weights ?budget store fpm m =
+let staged_solve ~method_ ~reduce ?row_weights ?budget ?pool store fpm m =
   Trace.with_span "solution.solve"
     ~args:[ ("method", Solution.method_name method_) ]
   @@ fun () ->
+  let uncovered = Matrix.uncoverable m in
   match method_ with
   | Solution.No_reduction_exact ->
       let fp = solve_fingerprint ~base:fpm ~method_ ~row_weights in
@@ -217,9 +218,12 @@ let staged_solve ~method_ ~reduce ?row_weights ?budget store fpm m =
             solver_optimal = optimal;
             solver_stop = stop;
             degraded = Solution.is_degraded method_ stop;
+            uncovered;
+            portfolio_legs = [];
+            portfolio_winner = None;
           };
       }
-  | Solution.Exact | Solution.Greedy_only ->
+  | Solution.Exact | Solution.Greedy_only | Solution.Portfolio_race ->
       let fp_reduce = reduce_fingerprint ~fpm ~reduce ~row_weights in
       let red =
         Artifact.cached (Some store) ~stage:"reduce" ~fp:fp_reduce
@@ -229,29 +233,56 @@ let staged_solve ~method_ ~reduce ?row_weights ?budget store fpm m =
       (* The residual is cheap to rebuild and deterministic in (m, red),
          so it is recomputed rather than stored. *)
       let residual, row_map, _col_map = Reduce.residual m red in
-      let fp_solve = solve_fingerprint ~base:fp_reduce ~method_ ~row_weights in
-      let from_solver, nodes, stop, optimal =
-        Artifact.cached (Some store) ~stage:"solve" ~fp:fp_solve
-          ~encode:encode_solve ~decode:decode_solve
-        @@ fun () ->
+      let weights =
+        Option.map (fun w -> Array.map (fun ri -> w.(ri)) row_map) row_weights
+      in
+      let from_solver, nodes, stop, optimal, legs, winner =
         if Matrix.rows residual = 0 || Matrix.cols residual = 0 then
-          ([], 0, Ilp.Complete, true)
+          ([], 0, Ilp.Complete, true, [], None)
         else
           match method_ with
-          | Solution.Greedy_only ->
-              let picks = Greedy.solve residual in
-              (List.map (fun ri -> row_map.(ri)) picks, 0, Ilp.Complete, false)
-          | Solution.Exact | Solution.No_reduction_exact ->
-              let weights =
-                Option.map
-                  (fun w -> Array.map (fun ri -> w.(ri)) row_map)
-                  row_weights
+          | Solution.Portfolio_race ->
+              (* Per-leg attribution does not round-trip the solve codec,
+                 and the race reads the shared incumbent as it runs — the
+                 solve stage is recomputed rather than memoised (the
+                 reduce stage above is still cached). *)
+              let r = Portfolio.solve ?weights ?budget ?pool residual in
+              let ilp_nodes =
+                List.fold_left
+                  (fun acc l ->
+                    if l.Portfolio.leg = "ilp" then l.Portfolio.work else acc)
+                  0 r.Portfolio.legs
               in
-              let r = Ilp.solve ?weights ?budget residual in
-              ( List.map (fun ri -> row_map.(ri)) r.Ilp.selected,
-                r.Ilp.nodes_explored,
-                r.Ilp.stop_reason,
-                r.Ilp.optimal )
+              ( List.map (fun ri -> row_map.(ri)) r.Portfolio.selected,
+                ilp_nodes,
+                r.Portfolio.stop_reason,
+                r.Portfolio.optimal,
+                r.Portfolio.legs,
+                Some r.Portfolio.winner )
+          | Solution.Greedy_only | Solution.Exact | Solution.No_reduction_exact
+            ->
+              let fp_solve =
+                solve_fingerprint ~base:fp_reduce ~method_ ~row_weights
+              in
+              let from_solver, nodes, stop, optimal =
+                Artifact.cached (Some store) ~stage:"solve" ~fp:fp_solve
+                  ~encode:encode_solve ~decode:decode_solve
+                @@ fun () ->
+                match method_ with
+                | Solution.Greedy_only ->
+                    let picks = Greedy.solve residual in
+                    ( List.map (fun ri -> row_map.(ri)) picks,
+                      0,
+                      Ilp.Complete,
+                      false )
+                | _ ->
+                    let r = Ilp.solve ?weights ?budget residual in
+                    ( List.map (fun ri -> row_map.(ri)) r.Ilp.selected,
+                      r.Ilp.nodes_explored,
+                      r.Ilp.stop_reason,
+                      r.Ilp.optimal )
+              in
+              (from_solver, nodes, stop, optimal, [], None)
       in
       let rows = List.sort_uniq compare (red.Reduce.necessary @ from_solver) in
       {
@@ -269,11 +300,14 @@ let staged_solve ~method_ ~reduce ?row_weights ?budget store fpm m =
             solver_optimal = optimal;
             solver_stop = stop;
             degraded = Solution.is_degraded method_ stop;
+            uncovered;
+            portfolio_legs = legs;
+            portfolio_winner = winner;
           };
       }
 
-let run_prebuilt ?(config = default_config) ?budget ?store ?fingerprint:fpm sim tpg
-    ~initial ~targets =
+let run_prebuilt ?(config = default_config) ?pool ?budget ?store ?fingerprint:fpm
+    sim tpg ~initial ~targets =
   let t0 = Unix.gettimeofday () in
   let sims_before = Fault_sim.sims_performed sim in
   let row_weights =
@@ -292,10 +326,10 @@ let run_prebuilt ?(config = default_config) ?budget ?store ?fingerprint:fpm sim 
     match (store, fpm) with
     | Some st, Some fpm ->
         staged_solve ~method_:config.method_ ~reduce:config.reduce ?row_weights
-          ?budget st fpm initial.Builder.matrix
+          ?budget ?pool st fpm initial.Builder.matrix
     | _ ->
         Solution.solve ~method_:config.method_ ~reduce_config:config.reduce
-          ?row_weights ?budget initial.Builder.matrix
+          ?row_weights ?budget ?pool initial.Builder.matrix
   in
   let final_triplets, missed, dropped =
     let compute () =
@@ -353,7 +387,10 @@ let run ?(config = default_config) ?pool ?budget ?checkpoint ?store ?fingerprint
     Builder.build ?pool ?budget ?checkpoint ?store ~fingerprint:fpm sim tpg ~tests
       ~targets ~config:config.builder
   in
-  let r = run_prebuilt ~config ?budget ?store ~fingerprint:fpm sim tpg ~initial ~targets in
+  let r =
+    run_prebuilt ~config ?pool ?budget ?store ~fingerprint:fpm sim tpg ~initial
+      ~targets
+  in
   (* The prebuilt leg timed itself; report the whole flow, matrix build
      included.  [fault_sims] already covers both (it is counted from
      [initial.fault_sims] plus the truncation sweeps). *)

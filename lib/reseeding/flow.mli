@@ -75,7 +75,8 @@ val truncate_solution :
     ~tests ~targets] executes the whole flow.  [tests] is the
     deterministic test set (ATPGTS), [targets] the fault list F.  [pool]
     is forwarded to the parallel Detection-Matrix build
-    ({!Builder.build}), [budget] to every expensive phase (matrix build
+    ({!Builder.build}) and to the portfolio method's racing legs,
+    [budget] to every expensive phase (matrix build
     and covering solver), [checkpoint] to the matrix build for crash-safe
     resume.  On budget expiry the result is valid but possibly partial:
     see [degraded], [coverage_pct] and {!Builder.t.rows_skipped}.
@@ -99,17 +100,19 @@ val run :
   targets:Bitvec.t ->
   result
 
-(** [run_prebuilt ?config ?budget ?store ?fingerprint sim tpg ~initial
-    ~targets] is the back half of {!run} — covering, end-game and
-    Section-4 truncation — over an already-built {!Builder.t}.  The
+(** [run_prebuilt ?config ?pool ?budget ?store ?fingerprint sim tpg
+    ~initial ~targets] is the back half of {!run} — covering, end-game
+    and Section-4 truncation — over an already-built {!Builder.t}.  The
     trade-off sweep uses it to share one matrix build across grid points.
-    [fingerprint] is the {e matrix-stage} fingerprint of [initial]
-    (i.e. {!Builder.fingerprint} of the inputs that produced it); when
-    both it and [store] are present the reduce/solve/truncate stages are
-    memoised exactly as in {!run}.  [elapsed_s] and [fault_sims] cover
-    this half only, plus [initial.fault_sims]. *)
+    [pool] drives the portfolio method's racing legs (other methods
+    ignore it).  [fingerprint] is the {e matrix-stage} fingerprint of
+    [initial] (i.e. {!Builder.fingerprint} of the inputs that produced
+    it); when both it and [store] are present the reduce/solve/truncate
+    stages are memoised exactly as in {!run}.  [elapsed_s] and
+    [fault_sims] cover this half only, plus [initial.fault_sims]. *)
 val run_prebuilt :
   ?config:config ->
+  ?pool:Pool.t ->
   ?budget:Budget.t ->
   ?store:Artifact.store ->
   ?fingerprint:Fingerprint.t ->

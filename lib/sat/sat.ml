@@ -1,18 +1,26 @@
+open Reseed_util
+
 type t = {
-  nvars : int;
+  mutable nvars : int;
   mutable clauses : int array list; (* reversed insertion order *)
   mutable n_clauses : int;
   mutable trivially_unsat : bool;
+  mutable last_conflicts : int;
 }
 
 type outcome = Sat of bool array | Unsat | Unknown
 
 let create nvars =
   if nvars < 0 then invalid_arg "Sat.create: negative variable count";
-  { nvars; clauses = []; n_clauses = 0; trivially_unsat = false }
+  { nvars; clauses = []; n_clauses = 0; trivially_unsat = false; last_conflicts = 0 }
 
 let nvars t = t.nvars
 let clause_count t = t.n_clauses
+let conflicts t = t.last_conflicts
+
+let new_var t =
+  t.nvars <- t.nvars + 1;
+  t.nvars
 
 let add_clause t lits =
   List.iter
@@ -31,7 +39,7 @@ let add_clause t lits =
   end
 
 (* One search instance; rebuilt per [solve] call so the solver object can
-   accumulate clauses between calls. *)
+   accumulate clauses (and variables) between calls. *)
 type search = {
   s_nvars : int;
   s_clauses : int array array;
@@ -94,7 +102,14 @@ let backjump s mark =
 
 type decision = { d_mark : int; d_lit : int; mutable d_flipped : bool }
 
-let solve ?(assumptions = []) ?(max_conflicts = 200_000) t =
+(* Wall-clock polls are throttled to once per [budget_stride] search
+   steps (decisions + conflicts), mirroring the ILP branch-and-bound: a
+   step is microseconds, so the deadline is honoured within milliseconds
+   without a clock read per step. *)
+let budget_stride = 1024
+
+let solve ?(assumptions = []) ?(max_conflicts = 200_000) ?budget t =
+  t.last_conflicts <- 0;
   if t.trivially_unsat then Unsat
   else begin
     let clauses = Array.of_list (List.rev t.clauses) in
@@ -126,13 +141,20 @@ let solve ?(assumptions = []) ?(max_conflicts = 200_000) t =
     if !contradictory_assumption || not (propagate s) then Unsat
     else begin
       let conflicts = ref 0 in
+      let steps = ref 0 in
       let decisions : decision list ref = ref [] in
       let result = ref None in
+      let out_of_budget () =
+        incr steps;
+        match budget with
+        | Some b when !steps mod budget_stride = 0 && Budget.expired b -> true
+        | _ -> false
+      in
       let rec next_unassigned v =
         if v > s.s_nvars then 0 else if s.assign.(v) = 0 then v else next_unassigned (v + 1)
       in
       while !result = None do
-        if !conflicts > max_conflicts then result := Some Unknown
+        if !conflicts > max_conflicts || out_of_budget () then result := Some Unknown
         else begin
           let v = next_unassigned 1 in
           if v = 0 then begin
@@ -154,29 +176,36 @@ let solve ?(assumptions = []) ?(max_conflicts = 200_000) t =
               if propagate s then stable := true
               else begin
                 incr conflicts;
-                (* Find a decision to flip. *)
-                let rec unwind () =
-                  match !decisions with
-                  | [] ->
-                      result := Some Unsat;
-                      stable := true
-                  | d :: rest ->
-                      backjump s d.d_mark;
-                      if d.d_flipped then begin
-                        decisions := rest;
-                        unwind ()
-                      end
-                      else begin
-                        d.d_flipped <- true;
-                        enqueue s (-d.d_lit)
-                      end
-                in
-                unwind ()
+                if out_of_budget () then begin
+                  result := Some Unknown;
+                  stable := true
+                end
+                else begin
+                  (* Find a decision to flip. *)
+                  let rec unwind () =
+                    match !decisions with
+                    | [] ->
+                        result := Some Unsat;
+                        stable := true
+                    | d :: rest ->
+                        backjump s d.d_mark;
+                        if d.d_flipped then begin
+                          decisions := rest;
+                          unwind ()
+                        end
+                        else begin
+                          d.d_flipped <- true;
+                          enqueue s (-d.d_lit)
+                        end
+                  in
+                  unwind ()
+                end
               end
             done
           end
         end
       done;
+      t.last_conflicts <- !conflicts;
       Option.get !result
     end
   end

@@ -20,3 +20,42 @@ let solve m =
     Rowset.diff_into ~into:need (Matrix.rowset m !best)
   done;
   List.rev !chosen
+
+let validate_weights m w =
+  if Array.length w <> Matrix.rows m then
+    invalid_arg "Greedy: weight count mismatch";
+  Array.iter (fun x -> if x <= 0. then invalid_arg "Greedy: weights must be > 0") w
+
+(* Weighted Chvátal: maximise the cost-effectiveness ratio gain/weight at
+   every pick.  The unweighted entry point above is kept verbatim (and
+   used when no weights are given) so the historical cardinality path
+   stays byte-identical. *)
+let solve_weighted ?weights m =
+  match weights with
+  | None -> solve m
+  | Some w ->
+      validate_weights m w;
+      let need = Bitvec.copy (Matrix.universe m) in
+      let chosen = ref [] in
+      while not (Bitvec.is_empty need) do
+        let best = ref (-1) and best_ratio = ref 0. in
+        for i = 0 to Matrix.rows m - 1 do
+          let gain = Rowset.count_inter (Matrix.rowset m i) need in
+          if gain > 0 then begin
+            let ratio = float_of_int gain /. w.(i) in
+            if ratio > !best_ratio then begin
+              best := i;
+              best_ratio := ratio
+            end
+          end
+        done;
+        assert (!best >= 0);
+        chosen := !best :: !chosen;
+        Rowset.diff_into ~into:need (Matrix.rowset m !best)
+      done;
+      List.rev !chosen
+
+let cost ?weights rows =
+  match weights with
+  | None -> float_of_int (List.length rows)
+  | Some w -> List.fold_left (fun acc i -> acc +. w.(i)) 0. rows

@@ -1,9 +1,22 @@
 (** Greedy set covering (Chvátal): repeatedly take the row covering the
-    most still-uncovered columns.  ln(n)-approximate; used as the upper
-    bound seeding the exact branch-and-bound and as an ablation baseline
-    against the exact solver. *)
+    most still-uncovered columns — or, weighted, the row with the best
+    cost-effectiveness ratio (new columns covered per unit weight).
+    ln(n)-approximate; used as the upper bound seeding the exact
+    branch-and-bound, as the deterministic baseline of the portfolio's
+    restart leg, and as an ablation baseline against the exact solver. *)
 
-(** [solve m] returns selected row indices in pick order.  Columns no row
-    covers are ignored.  The result always covers every coverable
-    column. *)
+(** [solve m] returns selected row indices in pick order, minimising
+    cardinality.  Columns no row covers are ignored.  The result always
+    covers every coverable column. *)
 val solve : Matrix.t -> int list
+
+(** [solve_weighted ?weights m] — with [weights], each pick maximises
+    [gain /. weights.(i)] (ties broken by lowest index, like [solve]);
+    without, this is exactly {!solve} — the unweighted path is shared, so
+    cardinality results stay byte-identical.  Raises [Invalid_argument]
+    on a weight count mismatch or non-positive weights. *)
+val solve_weighted : ?weights:float array -> Matrix.t -> int list
+
+(** [cost ?weights rows] is the objective value of a selection:
+    cardinality without weights, [Σ weights.(i)] with. *)
+val cost : ?weights:float array -> int list -> float

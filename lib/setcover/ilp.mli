@@ -5,14 +5,16 @@
     subject to  A·x ≥ 1 (every column covered),  x ∈ {0,1}^rows
 
     Branch-and-bound: branch on the hardest column (fewest covering
-    rows), bound with a weighted independent-column lower bound plus the
-    cost so far, seed the incumbent with the greedy solution.  When the
-    search runs to completion ([stop_reason = Complete], [optimal =
-    true]) the result is a global optimum — exactly what the paper gets
-    out of LINGO on the reduced matrix.  When the node limit or the
-    wall-clock budget trips first, the best incumbent found so far (at
-    worst the greedy seed, always a valid cover) is returned with
-    [optimal = false] and the reason recorded. *)
+    rows), bound with the maximum of the weighted independent-column
+    bound and a {!Lagrangian} dual bound priced from root multipliers,
+    seed the incumbent with the (weighted) greedy solution.  A root dual
+    bound that already meets the greedy seed proves optimality without
+    opening a node.  When the search runs to completion ([stop_reason =
+    Complete], [optimal = true]) the result is a global optimum — exactly
+    what the paper gets out of LINGO on the reduced matrix.  When the
+    node limit or the wall-clock budget trips first, the best incumbent
+    found so far (at worst the greedy seed, always a valid cover) is
+    returned with [optimal = false] and the reason recorded. *)
 
 open Reseed_util
 
@@ -50,3 +52,52 @@ type result = {
     a matrix that still carries undetectable faults. *)
 val solve :
   ?weights:float array -> ?node_limit:int -> ?budget:Budget.t -> Matrix.t -> result
+
+(** {1 Resumable search}
+
+    The portfolio's racing leg: the same branch-and-bound as {!solve},
+    but with the depth-first frontier held in an explicit stack so it
+    can run a node quantum at a time and adopt foreign incumbents
+    between quanta.  Pop order reproduces {!solve}'s recursion exactly,
+    so a search left to run without injections explores the identical
+    node sequence. *)
+
+type search
+
+(** [start ?weights ?node_limit ?bound ?seed m] prepares a search.
+    [bound] overrides the pruning lower bound (default: the hybrid
+    independent-column / Lagrangian bound built at the root); [seed] is
+    the initial incumbent as [(rows, cost)] (default: the weighted
+    greedy cover). *)
+val start :
+  ?weights:float array ->
+  ?node_limit:int ->
+  ?bound:(Bitvec.t -> float) ->
+  ?seed:int list * float ->
+  Matrix.t ->
+  search
+
+(** [advance ?quantum ?budget s] explores up to [quantum] further nodes
+    (default: unbounded), stopping early on exhaustion (optimality
+    proved), the node limit, or budget expiry. *)
+val advance : ?quantum:int -> ?budget:Budget.t -> search -> unit
+
+(** [inject s ~rows ~cost] adopts a foreign incumbent when strictly
+    better than the search's current one (never on ties, so a completed
+    search still reports its own first-found optimum). *)
+val inject : search -> rows:int list -> cost:float -> unit
+
+(** [best s] is the current incumbent, rows ascending. *)
+val best : search -> int list * float
+
+(** [exhausted s] — the frontier is empty and nothing stopped the
+    search: the incumbent is a proven optimum. *)
+val exhausted : search -> bool
+
+(** [search_stop s] is [None] while the search may continue (or has
+    completed); [Node_limit] / [Budget] once tripped. *)
+val search_stop : search -> stop_reason option
+
+val nodes_explored : search -> int
+val incumbent_updates : search -> int
+val prunes : search -> int

@@ -1,0 +1,86 @@
+(** Racing covering-solver portfolio.
+
+    Three legs attack the same (weighted) covering instance and share
+    one incumbent:
+
+    - {b ilp} — the resumable {!Ilp} branch-and-bound, advanced a node
+      quantum per round; closing the search is an optimality proof.
+    - {b sat} — {!Satcover} cardinality descent: one at-most-(k−1)
+      query per round against the incumbent's cardinality [k];
+      [No_cover] is an optimality proof.  Built only for the uniform
+      objective on instances below [sat_row_limit] rows.
+    - {b grasp} — greedy with a restricted candidate list, seeded
+      probabilistic tie-breaking and redundancy trimming, a batch of
+      restarts per round.  Never proves; pulls the incumbent down.
+
+    Rounds are barriers: each active leg runs one deterministic work
+    quantum (concurrently on the {!Pool} when one is supplied — legs
+    own their state, so results are bit-identical at every job count),
+    then candidates merge in fixed leg order with strictly-better-cost
+    adoption, proofs are checked in fixed priority, and the shared
+    incumbent is republished.  First leg to prove optimality wins;
+    budget expiry returns the best incumbent with per-leg attribution.
+
+    Determinism: with no wall-clock budget the result is a pure
+    function of the instance, the weights and [config.seed] —
+    independent of pool size and scheduling.  A budget can cut a
+    quantum short, so deadline runs are deterministic only up to where
+    the deadline lands. *)
+
+open Reseed_util
+
+type config = {
+  node_quantum : int;  (** ILP nodes per round *)
+  node_limit : int;  (** ILP total node cap *)
+  restart_quantum : int;  (** GRASP restarts per round *)
+  max_restarts : int;  (** GRASP total restarts *)
+  rcl_alpha : float;
+      (** restricted-candidate-list width: rows within [alpha] of the
+          best cost-effectiveness ratio are tie-broken randomly *)
+  sat_row_limit : int;  (** SAT leg built only below this many rows *)
+  sat_conflict_quantum : int;  (** initial SAT conflicts per round *)
+  sat_conflict_cap : int;
+      (** the allowance doubles on [Unknown]; past this the leg retires *)
+  seed : int;  (** GRASP tie-breaking seed *)
+}
+
+val default_config : config
+
+type leg_stat = {
+  leg : string;  (** ["ilp"], ["sat"] or ["grasp"] *)
+  rounds : int;
+  work : int;  (** nodes / conflicts / restarts — the leg's own unit *)
+  best_cost : float;  (** best cost the leg itself produced *)
+  improvements : int;  (** rounds its candidate improved the incumbent *)
+  proved : bool;
+}
+
+type result = {
+  selected : int list;  (** best cover found, rows ascending *)
+  cost : float;
+  optimal : bool;
+  stop_reason : Ilp.stop_reason;
+      (** [Complete] on any proof; [Budget] on expiry; [Node_limit]
+          when every leg retired unproven *)
+  winner : string;  (** leg holding the final incumbent; ["seed"] if
+          the greedy seed was never beaten *)
+  proved_by : string option;
+      (** ["ilp"], ["sat"] or ["bound"] (root dual bound) *)
+  legs : leg_stat list;
+  rounds : int;
+  root_lb : float;  (** the root Lagrangian dual bound *)
+  uncovered : int list;  (** columns no row covers, ascending *)
+}
+
+(** [solve ?config ?weights ?budget ?pool m] races the legs on [m].
+    [pool] defaults to the process-wide pool ({!Pool.default}); pass an
+    explicit pool to control parallelism.  When the exact leg closes
+    its search inside round 1 — every table-1 instance — the answer is
+    bit-identical to {!Ilp.solve} on the same matrix. *)
+val solve :
+  ?config:config ->
+  ?weights:float array ->
+  ?budget:Budget.t ->
+  ?pool:Pool.t ->
+  Matrix.t ->
+  result

@@ -1,0 +1,45 @@
+(** SAT/cardinality encoding of unweighted set covering — the
+    portfolio's third racing leg.
+
+    Rows become Boolean selection variables, every coverable column a
+    positive clause over the rows that cover it, and the cardinality
+    objective a one-directional Sinz sequential counter whose outputs
+    can be assumed off: [solve_at_most ~k] asks the {!Sat} solver for a
+    cover of at most [k] rows under the single assumption
+    [¬"at least k+1 selected"].  The encoding is built once per
+    instance; successive calls with decreasing [k] reuse the clause
+    database and only swap the assumption, so the leg walks the
+    incumbent down one cardinality at a time and a [No_cover] at
+    [k = best − 1] is an optimality proof.
+
+    Only meaningful for the cardinality objective (all weights equal);
+    the portfolio gates this leg accordingly. *)
+
+open Reseed_util
+
+type t
+
+type outcome =
+  | Cover of int list  (** a cover of at most [k] rows, ascending order *)
+  | No_cover  (** proven: no cover of [≤ k] rows exists *)
+  | Unknown  (** conflict or wall-clock budget exhausted *)
+
+(** [create ~ub m] encodes [m]'s covering constraints plus a sequential
+    counter sized for bounds up to [ub − 1] (the initial incumbent's
+    cardinality makes at-most-[ub − 1] the first useful query).
+    Uncoverable columns are skipped — the same silent degradation as
+    {!Greedy.solve}. *)
+val create : ub:int -> Matrix.t -> t
+
+(** [solve_at_most t ~k ~max_conflicts ?budget ()] decides whether a
+    cover of at most [k] rows exists.  [k ≥ rows] is vacuous (the cover
+    clauses alone decide it); otherwise [k ≥ ub] raises
+    [Invalid_argument] (the counter was not encoded that far); [k < 0]
+    is trivially [No_cover] on a non-empty universe. *)
+val solve_at_most :
+  t -> k:int -> max_conflicts:int -> ?budget:Budget.t -> unit -> outcome
+
+(** Total conflicts of the last [solve_at_most] call. *)
+val conflicts : t -> int
+
+val clause_count : t -> int

@@ -1,4 +1,4 @@
-type method_ = Exact | Greedy_only | No_reduction_exact
+type method_ = Exact | Greedy_only | No_reduction_exact | Portfolio_race
 
 type stats = {
   initial_rows : int;
@@ -12,6 +12,9 @@ type stats = {
   solver_optimal : bool;
   solver_stop : Ilp.stop_reason;
   degraded : bool;
+  uncovered : int list;
+  portfolio_legs : Portfolio.leg_stat list;
+  portfolio_winner : string option;
 }
 
 type t = { rows : int list; stats : stats }
@@ -23,18 +26,24 @@ type t = { rows : int list; stats : stats }
 let is_degraded method_ stop =
   match (method_, stop) with
   | Greedy_only, _ -> false
-  | (Exact | No_reduction_exact), Ilp.Complete -> false
-  | (Exact | No_reduction_exact), _ -> true
+  | (Exact | No_reduction_exact | Portfolio_race), Ilp.Complete -> false
+  | (Exact | No_reduction_exact | Portfolio_race), _ -> true
 
 let method_name = function
   | Exact -> "exact"
   | Greedy_only -> "greedy"
   | No_reduction_exact -> "noreduce"
+  | Portfolio_race -> "portfolio"
 
-let solve ?(method_ = Exact) ?reduce_config ?row_weights ?budget m =
+let solve ?(method_ = Exact) ?reduce_config ?row_weights ?budget ?pool m =
   Reseed_util.Trace.with_span "solution.solve"
     ~args:[ ("method", method_name method_) ]
   @@ fun () ->
+  (* Columns of the input matrix no row covers: unreachable whatever the
+     end-game selects (undetectable faults).  Every method degrades on
+     them the same way — by skipping them — so they are surfaced here
+     once instead of being dropped on the floor per-solver. *)
+  let uncovered = Matrix.uncoverable m in
   match method_ with
   | No_reduction_exact ->
       (* Ilp.solve itself excludes uncoverable columns and reports them,
@@ -55,30 +64,47 @@ let solve ?(method_ = Exact) ?reduce_config ?row_weights ?budget m =
             solver_optimal = r.Ilp.optimal;
             solver_stop = r.Ilp.stop_reason;
             degraded = is_degraded method_ r.Ilp.stop_reason;
+            uncovered = r.Ilp.uncovered;
+            portfolio_legs = [];
+            portfolio_winner = None;
           };
       }
-  | Exact | Greedy_only ->
+  | Exact | Greedy_only | Portfolio_race ->
       let red = Reduce.run ?config:reduce_config ?row_weights m in
       let residual, row_map, _col_map = Reduce.residual m red in
-      let from_solver, nodes, stop, optimal =
+      let from_solver, nodes, stop, optimal, legs, winner =
         if Matrix.rows residual = 0 || Matrix.cols residual = 0 then
-          ([], 0, Ilp.Complete, true)
+          ([], 0, Ilp.Complete, true, [], None)
         else
+          let weights =
+            Option.map (fun w -> Array.map (fun ri -> w.(ri)) row_map) row_weights
+          in
           match method_ with
           | Greedy_only ->
               let picks = Greedy.solve residual in
-              (List.map (fun ri -> row_map.(ri)) picks, 0, Ilp.Complete, false)
-          | Exact | No_reduction_exact ->
-              let weights =
-                Option.map
-                  (fun w -> Array.map (fun ri -> w.(ri)) row_map)
-                  row_weights
+              (List.map (fun ri -> row_map.(ri)) picks, 0, Ilp.Complete, false, [], None)
+          | Portfolio_race ->
+              let r = Portfolio.solve ?weights ?budget ?pool residual in
+              let ilp_nodes =
+                List.fold_left
+                  (fun acc l ->
+                    if l.Portfolio.leg = "ilp" then l.Portfolio.work else acc)
+                  0 r.Portfolio.legs
               in
+              ( List.map (fun ri -> row_map.(ri)) r.Portfolio.selected,
+                ilp_nodes,
+                r.Portfolio.stop_reason,
+                r.Portfolio.optimal,
+                r.Portfolio.legs,
+                Some r.Portfolio.winner )
+          | Exact | No_reduction_exact ->
               let r = Ilp.solve ?weights ?budget residual in
               ( List.map (fun ri -> row_map.(ri)) r.Ilp.selected,
                 r.Ilp.nodes_explored,
                 r.Ilp.stop_reason,
-                r.Ilp.optimal )
+                r.Ilp.optimal,
+                [],
+                None )
       in
       let rows = List.sort_uniq compare (red.Reduce.necessary @ from_solver) in
       {
@@ -96,6 +122,9 @@ let solve ?(method_ = Exact) ?reduce_config ?row_weights ?budget m =
             solver_optimal = optimal;
             solver_stop = stop;
             degraded = is_degraded method_ stop;
+            uncovered;
+            portfolio_legs = legs;
+            portfolio_winner = winner;
           };
       }
 

@@ -8,10 +8,17 @@
 
 open Reseed_util
 
-type method_ = Exact | Greedy_only | No_reduction_exact
+type method_ =
+  | Exact
+  | Greedy_only
+  | No_reduction_exact
+  | Portfolio_race
+      (** reduce, then race {!Portfolio}'s three legs (exact B&B,
+          SAT/cardinality descent, GRASP restarts) on the residual *)
 
-(** [method_name m] is ["exact"], ["greedy"] or ["noreduce"] — a stable
-    tag used on the CLI and as a cache-key component. *)
+(** [method_name m] is ["exact"], ["greedy"], ["noreduce"] or
+    ["portfolio"] — a stable tag used on the CLI and as a cache-key
+    component. *)
 val method_name : method_ -> string
 
 (** [is_degraded method_ stop] is [solve]'s degradation contract — an
@@ -29,35 +36,48 @@ type stats = {
   from_solver : int list;  (** rows added by the end-game solver *)
   reduction_iterations : int;
   solver_nodes : int;
+      (** branch-and-bound nodes (the exact leg's, for the portfolio) *)
   solver_optimal : bool;
   solver_stop : Ilp.stop_reason;  (** why the end-game solver stopped *)
   degraded : bool;
       (** an exact method handed back a possibly-suboptimal (but valid)
           incumbent because a node or wall-clock budget expired — never
           set for [Greedy_only], whose suboptimality is intentional *)
+  uncovered : int list;
+      (** columns of the {e input} matrix no row covers, ascending —
+          undetectable faults every method silently skips; [[]] on a
+          feasible instance *)
+  portfolio_legs : Portfolio.leg_stat list;
+      (** per-leg attribution; [[]] for non-portfolio methods *)
+  portfolio_winner : string option;
+      (** leg holding the final incumbent; [None] for other methods *)
 }
 
 type t = { rows : int list;  (** the final solution N, ascending *) stats : stats }
 
-(** [solve ?method_ ?reduce_config ?row_weights m] — [method_] defaults
-    to [Exact].  [Greedy_only] replaces the exact end-game with greedy
-    (ablation #2); [No_reduction_exact] skips reduction entirely
-    (ablation showing why the paper reduces first).
+(** [solve ?method_ ?reduce_config ?row_weights ?budget ?pool m] —
+    [method_] defaults to [Exact].  [Greedy_only] replaces the exact
+    end-game with greedy (ablation #2); [No_reduction_exact] skips
+    reduction entirely (ablation showing why the paper reduces first);
+    [Portfolio_race] races exact, SAT and GRASP legs on the residual,
+    sharing one incumbent ([pool] controls the racing parallelism —
+    results are identical at every pool size).
 
-    [row_weights] switches the exact objective from cardinality to
-    weighted cost (e.g. estimated per-triplet test length); reduction
-    honours the weights, the greedy method ignores them.
+    [row_weights] switches the objective from cardinality to weighted
+    cost (e.g. estimated per-triplet test length); reduction honours the
+    weights, the greedy method ignores them.
 
-    [budget] bounds the exact end-game: on expiry the solver's best
-    incumbent (the greedy cover at worst) is used and the degradation is
-    recorded in {!stats} ([degraded], [solver_stop]) instead of
-    pretending optimality.  The returned rows are always a valid cover of
-    the coverable columns. *)
+    [budget] bounds the end-game: on expiry the solver's best incumbent
+    (the greedy cover at worst) is used and the degradation is recorded
+    in {!stats} ([degraded], [solver_stop]) instead of pretending
+    optimality.  The returned rows are always a valid cover of the
+    coverable columns. *)
 val solve :
   ?method_:method_ ->
   ?reduce_config:Reduce.config ->
   ?row_weights:float array ->
   ?budget:Budget.t ->
+  ?pool:Pool.t ->
   Matrix.t ->
   t
 

@@ -1,0 +1,236 @@
+open Reseed_setcover
+open Reseed_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let matrix_of cols rows =
+  Matrix.of_rows ~cols (Array.of_list (List.map (Bitvec.of_list cols) rows))
+
+let brute_force_optimum m =
+  let rows = Matrix.rows m and cols = Matrix.cols m in
+  let coverable = Bitvec.create cols in
+  for j = 0 to cols - 1 do
+    if not (Bitvec.is_empty (Matrix.col m j)) then Bitvec.set coverable j
+  done;
+  let best = ref max_int in
+  for mask = 0 to (1 lsl rows) - 1 do
+    let u = Bitvec.create cols in
+    let size = ref 0 in
+    for i = 0 to rows - 1 do
+      if mask lsr i land 1 = 1 then begin
+        incr size;
+        Bitvec.union_into ~into:u (Matrix.row m i)
+      end
+    done;
+    if Bitvec.subset coverable u && !size < !best then best := !size
+  done;
+  !best
+
+let random_instance rng =
+  let rows = 3 + Rng.int rng 8 in
+  let cols = 3 + Rng.int rng 10 in
+  let m = Matrix.create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if Rng.int rng 100 < 35 then Matrix.set m ~row:i ~col:j
+    done
+  done;
+  m
+
+(* --- Satcover --- *)
+
+let test_satcover_descent () =
+  (* optimum 2: rows 0+1; the all-but-one row 2 forces a partner *)
+  let m = matrix_of 6 [ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 0; 1; 2; 3; 4 ] ] in
+  let enc = Satcover.create ~ub:3 m in
+  (match Satcover.solve_at_most enc ~k:2 ~max_conflicts:10_000 () with
+  | Satcover.Cover rows ->
+      check "cover of <= 2" true (List.length rows <= 2);
+      check "covers" true (Matrix.covers m ~rows_subset:rows)
+  | _ -> Alcotest.fail "expected a 2-cover");
+  check "no 1-cover" true
+    (Satcover.solve_at_most enc ~k:1 ~max_conflicts:10_000 () = Satcover.No_cover);
+  (* k at or above the row count is vacuous — the cover clauses alone
+     decide it — but a non-vacuous k beyond the encoded counter raises. *)
+  (match Satcover.solve_at_most enc ~k:3 ~max_conflicts:10_000 () with
+  | Satcover.Cover rows -> check "vacuous k covers" true (Matrix.covers m ~rows_subset:rows)
+  | _ -> Alcotest.fail "expected a cover at vacuous k");
+  let wide = matrix_of 4 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] in
+  let enc2 = Satcover.create ~ub:2 wide in
+  check "k beyond counter rejected" true
+    (try
+       ignore (Satcover.solve_at_most enc2 ~k:3 ~max_conflicts:10 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_satcover_uncoverable_skipped () =
+  (* Column 2 is coverable by no row: cover clauses skip it, like Greedy. *)
+  let m = matrix_of 3 [ [ 0 ]; [ 1 ] ] in
+  let enc = Satcover.create ~ub:2 m in
+  match Satcover.solve_at_most enc ~k:2 ~max_conflicts:1_000 () with
+  | Satcover.Cover rows -> check "covers coverable part" true (Matrix.covers m ~rows_subset:rows)
+  | _ -> Alcotest.fail "expected a cover"
+
+(* --- Portfolio --- *)
+
+let test_portfolio_simple () =
+  let m = matrix_of 3 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 0; 1; 2 ] ] in
+  let r = Portfolio.solve m in
+  check "optimal" true r.Portfolio.optimal;
+  check "picks the covering row" true (r.Portfolio.selected = [ 3 ]);
+  check "complete" true (r.Portfolio.stop_reason = Ilp.Complete);
+  check "proved" true (r.Portfolio.proved_by <> None)
+
+let test_portfolio_weighted () =
+  let m = matrix_of 3 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 0; 1; 2 ] ] in
+  let r = Portfolio.solve ~weights:[| 1.; 1.; 1.; 10. |] m in
+  check "avoids expensive row" true (r.Portfolio.selected = [ 0; 1; 2 ]);
+  check "cost 3" true (abs_float (r.Portfolio.cost -. 3.) < 1e-9);
+  check "optimal" true r.Portfolio.optimal
+
+let test_portfolio_leg_attribution () =
+  (* Greedy needs 3 rows here but the optimum is 2, so the root dual
+     bound cannot close the instance and the legs actually race. *)
+  let m = matrix_of 8 [ [ 0; 1; 2; 3 ]; [ 4; 5; 6; 7 ]; [ 0; 1; 4; 5; 2 ] ] in
+  let r = Portfolio.solve m in
+  check "optimal" true r.Portfolio.optimal;
+  check_int "optimum 2" 2 (List.length r.Portfolio.selected);
+  check "has legs" true (r.Portfolio.legs <> []);
+  List.iter
+    (fun l ->
+      check "leg named" true
+        (List.mem l.Portfolio.leg [ "ilp"; "sat"; "grasp" ]);
+      (* The final answer is never worse than anything a leg produced. *)
+      check "result <= leg best" true
+        (r.Portfolio.cost <= l.Portfolio.best_cost +. 1e-9))
+    r.Portfolio.legs
+
+let test_portfolio_expired_budget () =
+  let m = matrix_of 6 [ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 0; 1; 2; 3; 4 ] ] in
+  let b = Budget.create ~deadline_s:0. () in
+  ignore (Budget.expired b);
+  let r = Portfolio.solve ~budget:b m in
+  (* Valid cover always; either a proof closed it or the budget stopped it. *)
+  check "covers" true (Matrix.covers m ~rows_subset:r.Portfolio.selected);
+  check "stop accounted" true
+    (r.Portfolio.optimal
+    || match r.Portfolio.stop_reason with Ilp.Budget _ -> true | _ -> false)
+
+let prop_portfolio_matches_brute_force =
+  QCheck.Test.make ~name:"portfolio = brute force optimum" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 7000) in
+      let m = random_instance rng in
+      let opt = brute_force_optimum m in
+      if opt = max_int then true
+      else begin
+        let r = Portfolio.solve m in
+        r.Portfolio.optimal
+        && List.length r.Portfolio.selected = opt
+        && Matrix.covers m ~rows_subset:r.Portfolio.selected
+      end)
+
+(* The table-1 agreement contract: when the standalone exact search
+   completes, the portfolio completes too and reports the same rows at
+   the same cost (its exact leg runs the identical node sequence). *)
+let prop_portfolio_matches_exact =
+  QCheck.Test.make ~name:"portfolio = Ilp.solve where exact completes" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 8000) in
+      let m = random_instance rng in
+      let e = Ilp.solve m in
+      if not e.Ilp.optimal then true
+      else begin
+        let r = Portfolio.solve m in
+        r.Portfolio.optimal
+        && r.Portfolio.selected = e.Ilp.selected
+        && abs_float (r.Portfolio.cost -. e.Ilp.cost) < 1e-9
+      end)
+
+(* Weighted variant: same contract under a non-uniform objective (the
+   SAT leg sits out; exact + GRASP still race). *)
+let prop_portfolio_matches_exact_weighted =
+  QCheck.Test.make ~name:"weighted portfolio = weighted Ilp.solve" ~count:30
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 9000) in
+      let m = random_instance rng in
+      let weights =
+        Array.init (Matrix.rows m) (fun _ -> 1. +. float_of_int (Rng.int rng 9))
+      in
+      let e = Ilp.solve ~weights m in
+      if not e.Ilp.optimal then true
+      else begin
+        let r = Portfolio.solve ~weights m in
+        r.Portfolio.optimal
+        && r.Portfolio.selected = e.Ilp.selected
+        && abs_float (r.Portfolio.cost -. e.Ilp.cost) < 1e-9
+      end)
+
+(* Racing on a pool must not change the answer: legs own their state and
+   the merge happens at a barrier in fixed order, so 1, 2 and 4 jobs
+   produce the identical incumbent. *)
+let test_portfolio_determinism_across_jobs () =
+  let rng = Rng.create 4242 in
+  for _ = 1 to 8 do
+    let m = random_instance rng in
+    let solo = Pool.with_pool ~jobs:1 (fun pool -> Portfolio.solve ~pool m) in
+    let duo = Pool.with_pool ~jobs:2 (fun pool -> Portfolio.solve ~pool m) in
+    let quad = Pool.with_pool ~jobs:4 (fun pool -> Portfolio.solve ~pool m) in
+    check "2 jobs = 1 job" true (duo.Portfolio.selected = solo.Portfolio.selected);
+    check "4 jobs = 1 job" true (quad.Portfolio.selected = solo.Portfolio.selected);
+    check "same winner" true
+      (duo.Portfolio.winner = solo.Portfolio.winner
+      && quad.Portfolio.winner = solo.Portfolio.winner);
+    check "same rounds" true
+      (duo.Portfolio.rounds = solo.Portfolio.rounds
+      && quad.Portfolio.rounds = solo.Portfolio.rounds)
+  done
+
+(* --- Solution plumbing --- *)
+
+let test_solution_portfolio_method () =
+  let rng = Rng.create 777 in
+  for _ = 1 to 6 do
+    let m = random_instance rng in
+    let p = Solution.solve ~method_:Solution.Portfolio_race m in
+    let e = Solution.solve ~method_:Solution.Exact m in
+    check "portfolio covers" true (Solution.verify m p);
+    check "portfolio = exact cardinality" true
+      (Solution.cardinality p = Solution.cardinality e);
+    (* The winner is attributed whenever the portfolio actually ran; a
+       residual fully solved by reduction never reaches it. *)
+    check "winner recorded" true
+      (p.Solution.stats.Solution.portfolio_winner <> None
+      || p.Solution.stats.Solution.from_solver = []);
+    check "exact has no legs" true (e.Solution.stats.Solution.portfolio_legs = [])
+  done
+
+let test_solution_portfolio_stats () =
+  let m = matrix_of 6 [ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 0; 1; 2; 3; 4 ] ] in
+  let p = Solution.solve ~method_:Solution.Portfolio_race m in
+  check "not degraded" true (not p.Solution.stats.Solution.degraded);
+  check "optimal" true p.Solution.stats.Solution.solver_optimal;
+  check_int "cardinality 2" 2 (Solution.cardinality p)
+
+let suite =
+  [
+    ( "portfolio",
+      [
+        Alcotest.test_case "satcover descent" `Quick test_satcover_descent;
+        Alcotest.test_case "satcover uncoverable" `Quick test_satcover_uncoverable_skipped;
+        Alcotest.test_case "portfolio simple" `Quick test_portfolio_simple;
+        Alcotest.test_case "portfolio weighted" `Quick test_portfolio_weighted;
+        Alcotest.test_case "leg attribution" `Quick test_portfolio_leg_attribution;
+        Alcotest.test_case "expired budget" `Quick test_portfolio_expired_budget;
+        Alcotest.test_case "determinism across jobs" `Quick
+          test_portfolio_determinism_across_jobs;
+        Alcotest.test_case "solution portfolio method" `Quick
+          test_solution_portfolio_method;
+        Alcotest.test_case "solution portfolio stats" `Quick
+          test_solution_portfolio_stats;
+        QCheck_alcotest.to_alcotest prop_portfolio_matches_brute_force;
+        QCheck_alcotest.to_alcotest prop_portfolio_matches_exact;
+        QCheck_alcotest.to_alcotest prop_portfolio_matches_exact_weighted;
+      ] );
+  ]

@@ -62,6 +62,50 @@ let test_assumptions () =
   | _ -> Alcotest.fail "expected SAT");
   check "contradictory assumptions" true (Sat.solve ~assumptions:[ 1; -1 ] s = Sat.Unsat)
 
+(* Regression: [solve] used to honour only [max_conflicts] and never
+   poll the wall-clock budget — a hung instance could blow through a
+   flow deadline.  An expired (or cancelled) budget must now surface as
+   [Unknown], mirroring [Ilp.solve]'s cooperative stride polling. *)
+let test_budget_polled () =
+  let php n =
+    (* pigeonhole PHP(n+1, n): UNSAT and exponential for DPLL *)
+    let s = Sat.create ((n + 1) * n) in
+    let v i h = ((i - 1) * n) + h in
+    for i = 1 to n + 1 do
+      Sat.add_clause s (List.init n (fun h -> v i (h + 1)))
+    done;
+    for h = 1 to n do
+      for i = 1 to n + 1 do
+        for j = i + 1 to n + 1 do
+          Sat.add_clause s [ -(v i h); -(v j h) ]
+        done
+      done
+    done;
+    s
+  in
+  let expired = Reseed_util.Budget.create ~deadline_s:0. () in
+  check "expired budget -> Unknown" true
+    (Sat.solve ~budget:expired (php 6) = Sat.Unknown);
+  let cancelled = Reseed_util.Budget.create () in
+  Reseed_util.Budget.cancel cancelled;
+  check "cancelled budget -> Unknown" true
+    (Sat.solve ~budget:cancelled (php 6) = Sat.Unknown);
+  (* A live budget leaves the verdict alone. *)
+  let live = Reseed_util.Budget.create ~deadline_s:60. () in
+  check "live budget -> Unsat" true (Sat.solve ~budget:live (php 4) = Sat.Unsat)
+
+let test_new_var_grows () =
+  let s = Sat.create 1 in
+  Alcotest.(check int) "initial vars" 1 (Sat.nvars s);
+  let v = Sat.new_var s in
+  Alcotest.(check int) "fresh var" 2 v;
+  Alcotest.(check int) "grown" 2 (Sat.nvars s);
+  Sat.add_clause s [ 1 ];
+  Sat.add_clause s [ -1; v ];
+  match Sat.solve s with
+  | Sat.Sat model -> check "new var propagated" true model.(v)
+  | _ -> Alcotest.fail "expected SAT"
+
 let test_bad_literal () =
   let s = Sat.create 2 in
   Alcotest.check_raises "zero literal" (Invalid_argument "Sat.add_clause: bad literal")
@@ -125,6 +169,8 @@ let suite =
         Alcotest.test_case "unit propagation chain" `Quick test_unit_propagation_chain;
         Alcotest.test_case "pigeonhole unsat" `Quick test_unsat_needs_search;
         Alcotest.test_case "assumptions" `Quick test_assumptions;
+        Alcotest.test_case "budget polled" `Quick test_budget_polled;
+        Alcotest.test_case "new_var grows" `Quick test_new_var_grows;
         Alcotest.test_case "bad literals rejected" `Quick test_bad_literal;
         QCheck_alcotest.to_alcotest prop_model_sound_and_complete;
       ] );

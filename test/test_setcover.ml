@@ -137,6 +137,50 @@ let test_greedy_covers () =
   let picks = Greedy.solve m in
   check "covers" true (Matrix.covers m ~rows_subset:picks)
 
+(* Regression: Greedy used to ignore [row_weights] entirely, silently
+   minimising cardinality whatever the objective.  The weighted picker
+   must rank by cost-effectiveness (gain per unit weight), so the
+   expensive all-covering row loses to three cheap singletons. *)
+let test_greedy_weighted_regression () =
+  let m = matrix_of 3 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 0; 1; 2 ] ] in
+  let unweighted = Greedy.solve m in
+  check "cardinality greedy takes the big row" true (unweighted = [ 3 ]);
+  let weighted = Greedy.solve_weighted ~weights:[| 1.; 1.; 1.; 10. |] m in
+  check "weighted greedy avoids it" true
+    (List.sort compare weighted = [ 0; 1; 2 ]);
+  check "weighted cost" true
+    (abs_float (Greedy.cost ~weights:[| 1.; 1.; 1.; 10. |] weighted -. 3.) < 1e-9);
+  check "bad weights rejected" true
+    (try
+       ignore (Greedy.solve_weighted ~weights:[| 1.; 1. |] m);
+       false
+     with Invalid_argument _ -> true)
+
+(* Without weights, [solve_weighted] delegates to the original picker:
+   identical picks in identical order on any instance. *)
+let test_greedy_unweighted_unchanged () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 20 do
+    let m = random_instance rng in
+    if Greedy.solve_weighted m <> Greedy.solve m then
+      Alcotest.fail "solve_weighted without weights diverged from solve"
+  done
+
+(* Weighted greedy is a valid upper bound for the weighted exact solver:
+   it covers, and never costs less than the optimum. *)
+let prop_weighted_greedy_bounds_ilp =
+  QCheck.Test.make ~name:"weighted greedy cost >= ILP cost" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 2000) in
+      let m = random_instance rng in
+      let weights =
+        Array.init (Matrix.rows m) (fun _ -> 1. +. float_of_int (Rng.int rng 9))
+      in
+      let picks = Greedy.solve_weighted ~weights m in
+      let r = Ilp.solve ~weights m in
+      Matrix.covers m ~rows_subset:picks
+      && (not r.Ilp.optimal || Greedy.cost ~weights picks >= r.Ilp.cost -. 1e-9))
+
 let test_greedy_suboptimal_instance () =
   (* classic instance where greedy takes 3 rows but optimum is 2 *)
   let m =
@@ -226,6 +270,28 @@ let test_solution_exact_beats_greedy () =
       Alcotest.fail "exact worse than greedy"
   done
 
+(* Regression: the Exact path used to drop [Ilp.result.uncovered] on the
+   floor — a matrix carrying undetectable faults solved "cleanly" with
+   no trace of the columns nothing can cover.  Every method must now
+   surface them in [stats.uncovered]. *)
+let test_solution_uncovered_surfaced () =
+  let m = matrix_of 3 [ [ 0 ]; [ 0; 2 ] ] in
+  List.iter
+    (fun method_ ->
+      let sol = Solution.solve ~method_ m in
+      Alcotest.(check (list int))
+        ("uncovered via " ^ Solution.method_name method_)
+        [ 1 ] sol.Solution.stats.Solution.uncovered)
+    [
+      Solution.Exact;
+      Solution.Greedy_only;
+      Solution.No_reduction_exact;
+      Solution.Portfolio_race;
+    ];
+  let feasible = matrix_of 2 [ [ 0 ]; [ 1 ] ] in
+  let sol = Solution.solve feasible in
+  check "feasible instance: empty" true (sol.Solution.stats.Solution.uncovered = [])
+
 let test_solution_stats_consistent () =
   let m = matrix_of 4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 0; 3 ] ] in
   let sol = Solution.solve m in
@@ -250,6 +316,8 @@ let suite =
         Alcotest.test_case "essentials cascade" `Quick test_reduction_fixpoint_solves_simple;
         Alcotest.test_case "residual maps correct" `Quick test_residual_maps;
         Alcotest.test_case "greedy covers" `Quick test_greedy_covers;
+        Alcotest.test_case "greedy honours weights" `Quick test_greedy_weighted_regression;
+        Alcotest.test_case "unweighted greedy unchanged" `Quick test_greedy_unweighted_unchanged;
         Alcotest.test_case "greedy vs exact gap" `Quick test_greedy_suboptimal_instance;
         Alcotest.test_case "ilp simple" `Quick test_ilp_simple;
         Alcotest.test_case "ilp weighted" `Quick test_ilp_weighted;
@@ -258,7 +326,9 @@ let suite =
         Alcotest.test_case "methods all cover" `Quick test_solution_methods_agree_on_coverage;
         Alcotest.test_case "exact never worse than greedy" `Quick test_solution_exact_beats_greedy;
         Alcotest.test_case "stats consistent" `Quick test_solution_stats_consistent;
+        Alcotest.test_case "uncovered surfaced" `Quick test_solution_uncovered_surfaced;
         QCheck_alcotest.to_alcotest prop_reduction_preserves_optimum;
+        QCheck_alcotest.to_alcotest prop_weighted_greedy_bounds_ilp;
         QCheck_alcotest.to_alcotest prop_ilp_matches_brute_force;
       ] );
   ]
