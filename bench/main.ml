@@ -120,6 +120,17 @@ let stats_for name =
       stats_order := name :: !stats_order;
       s
 
+(* Transition-delay dimension: the same Table 1 flow re-run under the
+   launch/capture model on a small subset.  Collapsing stays off (stuck-at
+   equivalences do not lift to launch/capture semantics) and GATSBY is
+   skipped — the point is the covering flow under another fault model, not
+   the GA baseline.  Feeds the "transition" array of BENCH_reseed.json. *)
+let transition_suite = [ "c432"; "s820" ]
+
+let transition_rows :
+    (string * int * int * float * Suite.table1_row) list ref =
+  ref []
+
 let write_bench_json ~total_s () =
   let buf = Buffer.create 1024 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -138,6 +149,22 @@ let write_bench_json ~total_s () =
         name s.prep_s s.table1_s s.fault_sims s.event_props s.universe_faults
         s.rep_faults)
     (List.rev !stats_order);
+  pr "\n  ],\n";
+  pr "  \"transition\": [";
+  List.iteri
+    (fun i (name, faults, patterns, wall_s, row) ->
+      pr "%s\n    { \"name\": \"%s\", \"faults\": %d, \"patterns\": %d, \"wall_s\": %.3f, \"tpgs\": [%s] }"
+        (if i = 0 then "" else ",")
+        name faults patterns wall_s
+        (String.concat ", "
+           (List.map
+              (fun e ->
+                Printf.sprintf
+                  "{ \"tpg\": \"%s\", \"triplets\": %d, \"test_length\": %d, \"fault_sims\": %d }"
+                  e.Suite.tpg e.Suite.sc_triplets e.Suite.sc_test_length
+                  e.Suite.sc_fault_sims)
+              row.Suite.entries)))
+    (List.rev !transition_rows);
   pr "\n  ],\n";
   let cv name = match Metrics.get name with Some (Metrics.Counter_v v) -> v | _ -> 0 in
   pr "  \"cache\": { \"enabled\": %b, \"hits\": %d, \"misses\": %d, \"corrupt\": %d },\n"
@@ -218,6 +245,32 @@ let prepare name =
       Hashtbl.add prepared name p;
       p
 
+let run_transition_table1 () =
+  log "== Table 1 (transition-delay faults, subset) ==";
+  let rows =
+    List.map
+      (fun name ->
+        let t0 = Unix.gettimeofday () in
+        let p =
+          Suite.prepare ~scale_factor:(scale_for name) ~sim_engine
+            ~fault_model:Reseed_fault.Fault_model.Transition_delay
+            ~collapse:false ?store name
+        in
+        let row = Suite.table1_row ~with_gatsby:false p in
+        let wall_s = Unix.gettimeofday () -. t0 in
+        let faults = Reseed_fault.Fault_sim.fault_count p.Suite.sim in
+        let patterns = Array.length p.Suite.tests in
+        log "  [t1-transition] %s done (%.1fs, %d faults, %d patterns)" name
+          wall_s faults patterns;
+        transition_rows :=
+          (name, faults, patterns, wall_s, row) :: !transition_rows;
+        row)
+      transition_suite
+  in
+  print_string (Suite.render_table1 rows);
+  log "Launch/capture semantics: each fault needs a pattern pair, so the";
+  log "detection matrix is sparser — the covering flow itself is unchanged."
+
 let run_table1 () =
   log "== Table 1: reseeding solutions (set covering vs GATSBY) ==";
   let rows =
@@ -244,7 +297,9 @@ let run_table1 () =
   dump_csv "table1.csv" (Suite.csv_table1 rows);
   log "Paper shape: set covering needs as few or fewer triplets than GATSBY";
   log "(improvements of -2..-25 triplets on the paper's circuits), at a";
-  log "fraction of the fault simulations; GATSBY column empty where skipped."
+  log "fraction of the fault simulations; GATSBY column empty where skipped.";
+  print_newline ();
+  run_transition_table1 ()
 
 let run_table2 () =
   log "== Table 2: set covering algorithm (reduction impact) ==";

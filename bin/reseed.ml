@@ -8,6 +8,7 @@
      gatsby    run the GATSBY-style genetic baseline
      tradeoff  sweep evolution length T (Figure 2 style)
      batch     run a manifest-driven multi-circuit campaign
+     compress  code-based test-data compression over the covering core
      fullscan  extract the combinational core of a sequential circuit
      gen       emit a synthetic ISCAS-like circuit as a .bench file
      chaos     crash-consistency harness: sweep fault injections over
@@ -113,6 +114,16 @@ let tpg_of_kind kind width =
 
 let cycles_arg =
   Arg.(value & opt int 150 & info [ "cycles"; "T" ] ~docv:"T" ~doc:"Evolution length per triplet.")
+
+let fault_model_conv =
+  Arg.enum
+    [
+      ("stuck", Reseed_fault.Fault_model.Stuck_at);
+      ("transition", Reseed_fault.Fault_model.Transition_delay);
+    ]
+
+let fault_model_arg =
+  Arg.(value & opt fault_model_conv Reseed_fault.Fault_model.Stuck_at & info [ "fault-model" ] ~docv:"M" ~doc:"Fault model: $(b,stuck) (single stuck-at, the paper's model, default) or $(b,transition) (transition-delay faults detected by launch/capture pairs of consecutive patterns).")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
@@ -223,7 +234,7 @@ let atpg_cmd =
   let engine_arg =
     Arg.(value & opt engine_conv Reseed_atpg.Atpg.Podem_engine & info [ "engine" ] ~docv:"E" ~doc:"Deterministic engine: $(b,podem) or $(b,sat).")
   in
-  let run name scale engine deadline chaos trace metrics =
+  let run name scale engine fault_model deadline chaos trace metrics =
     guard @@ fun () ->
     apply_chaos chaos;
     setup_observability ~trace ~metrics;
@@ -231,8 +242,15 @@ let atpg_cmd =
     let c = load_circuit name ~scale in
     Printf.printf "%s\n" (Circuit.stats_line c);
     let config = { Reseed_atpg.Atpg.default_config with Reseed_atpg.Atpg.engine } in
-    let sim, r = Reseed_atpg.Atpg.run_circuit ~config ~budget c in
-    Printf.printf "faults (collapsed): %d\n" (Reseed_fault.Fault_sim.fault_count sim);
+    let sim, r = Reseed_atpg.Atpg.run_circuit ~config ~fault_model ~budget c in
+    (match fault_model with
+    | Reseed_fault.Fault_model.Stuck_at ->
+        Printf.printf "faults (collapsed): %d\n"
+          (Reseed_fault.Fault_sim.fault_count sim)
+    | Reseed_fault.Fault_model.Transition_delay ->
+        Printf.printf "fault model: transition\n";
+        Printf.printf "faults (uncollapsed): %d\n"
+          (Reseed_fault.Fault_sim.fault_count sim));
     Printf.printf "test set: %d patterns\n" (Array.length r.Reseed_atpg.Atpg.tests);
     Printf.printf "coverage of detectable faults: %.2f%%\n"
       (Reseed_atpg.Atpg.fault_coverage sim r);
@@ -248,8 +266,8 @@ let atpg_cmd =
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Run the deterministic ATPG on a circuit.")
     Term.(
-      const run $ circuit_arg $ scale_arg $ engine_arg $ deadline_arg $ chaos_arg
-      $ trace_arg $ metrics_arg)
+      const run $ circuit_arg $ scale_arg $ engine_arg $ fault_model_arg
+      $ deadline_arg $ chaos_arg $ trace_arg $ metrics_arg)
 
 (* solve *)
 
@@ -275,8 +293,8 @@ let solve_cmd =
   let objective_arg =
     Arg.(value & opt objective_conv Flow.Min_triplets & info [ "objective" ] ~docv:"O" ~doc:"$(b,triplets) (paper) or $(b,length) (weighted extension).")
   in
-  let run name scale tpg_kind cycles method_ verify objective deadline jobs checkpoint
-      cache chaos trace metrics =
+  let run name scale tpg_kind cycles fault_model method_ verify objective deadline
+      jobs checkpoint cache chaos trace metrics =
     guard @@ fun () ->
     apply_chaos chaos;
     setup_observability ~trace ~metrics;
@@ -284,7 +302,7 @@ let solve_cmd =
     with_jobs jobs @@ fun pool ->
     let store = Artifact.resolve ?dir:cache () in
     let c = load_circuit name ~scale in
-    let p = Suite.prepare_circuit ~budget ?store c in
+    let p = Suite.prepare_circuit ~fault_model ~budget ?store c in
     let tpg = tpg_of_kind tpg_kind (Circuit.input_count c) in
     let config =
       {
@@ -301,6 +319,8 @@ let solve_cmd =
     in
     let stats = r.Flow.solution.Reseed_setcover.Solution.stats in
     Printf.printf "%s + %s TPG (T=%d)\n" (Circuit.name c) tpg.Tpg.name cycles;
+    if fault_model <> Reseed_fault.Fault_model.Stuck_at then
+      Printf.printf "fault model: %s\n" (Reseed_fault.Fault_model.name fault_model);
     Printf.printf "initial matrix: %dx%d\n" stats.Reseed_setcover.Solution.initial_rows
       stats.Reseed_setcover.Solution.initial_cols;
     Printf.printf "necessary triplets: %d\n"
@@ -356,9 +376,9 @@ let solve_cmd =
   in
   Cmd.v (Cmd.info "solve" ~doc:"Compute a minimal reseeding solution (set covering flow).")
     Term.(
-      const run $ circuit_arg $ scale_arg $ tpg_arg $ cycles_arg $ method_arg $ verify_arg
-      $ objective_arg $ deadline_arg $ jobs_arg $ checkpoint_arg $ cache_arg $ chaos_arg
-      $ trace_arg $ metrics_arg)
+      const run $ circuit_arg $ scale_arg $ tpg_arg $ cycles_arg $ fault_model_arg
+      $ method_arg $ verify_arg $ objective_arg $ deadline_arg $ jobs_arg
+      $ checkpoint_arg $ cache_arg $ chaos_arg $ trace_arg $ metrics_arg)
 
 (* gatsby *)
 
@@ -451,15 +471,22 @@ let batch_cmd =
     let mu = Mutex.create () in
     let on_done _i (r : Batch.job_result) =
       Mutex.lock mu;
-      (match r.Batch.status with
-      | Batch.Ok ->
-          Printf.printf "  %-10s %-11s T=%-5d %4d triplets, length %5d, %.2f%%%s\n%!"
-            r.Batch.job.Batch.circuit r.Batch.job.Batch.tpg r.Batch.job.Batch.cycles
-            r.Batch.triplets r.Batch.test_length r.Batch.coverage_pct
+      let circuit = r.Batch.job.Batch.circuit in
+      let task = Batch.task_to_string r.Batch.job.Batch.task in
+      (match (r.Batch.status, r.Batch.metrics) with
+      | Batch.Ok, Batch.Reseed_metrics { triplets; test_length; coverage_pct; _ } ->
+          Printf.printf "  %-10s %-20s %4d triplets, length %5d, %.2f%%%s\n%!"
+            circuit task triplets test_length coverage_pct
             (if r.Batch.degraded then "  [degraded]" else "")
-      | Batch.Skipped ->
-          Printf.printf "  %-10s %-11s T=%-5d skipped (budget expired)\n%!"
-            r.Batch.job.Batch.circuit r.Batch.job.Batch.tpg r.Batch.job.Batch.cycles);
+      | ( Batch.Ok,
+          Batch.Compress_metrics { entries; dictionary_bits; index_bits; raw_bits } )
+        ->
+          Printf.printf
+            "  %-10s %-20s %4d entries, dict %5d + index %5d bits (raw %d)%s\n%!"
+            circuit task entries dictionary_bits index_bits raw_bits
+            (if r.Batch.degraded then "  [degraded]" else "")
+      | Batch.Skipped, _ ->
+          Printf.printf "  %-10s %-20s skipped (budget expired)\n%!" circuit task);
       Mutex.unlock mu
     in
     let results =
@@ -477,6 +504,88 @@ let batch_cmd =
     Term.(
       const run $ manifest_arg $ report_arg $ deadline_arg $ jobs_arg $ cache_arg
       $ chaos_arg $ trace_arg $ metrics_arg)
+
+(* compress *)
+
+let compress_cmd =
+  let source_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SOURCE" ~doc:"Corpus source: a catalog circuit or .bench file (the corpus is its deterministic ATPG test set), or any other existing file read as raw corpus text — one $(b,[01X]) test vector per line, $(b,#) comments allowed.")
+  in
+  let width_arg =
+    Arg.(value & opt int 8 & info [ "block-width"; "w" ] ~docv:"W" ~doc:"Test-data block width in bits (1-62).  Vectors are chopped into $(docv)-bit blocks, the tail block padded with don't-cares.")
+  in
+  let method_conv =
+    Arg.enum
+      [
+        ("exact", Reseed_setcover.Solution.Exact);
+        ("greedy", Reseed_setcover.Solution.Greedy_only);
+        ("noreduce", Reseed_setcover.Solution.No_reduction_exact);
+        ("portfolio", Reseed_setcover.Solution.Portfolio_race);
+      ]
+  in
+  let method_arg =
+    Arg.(value & opt method_conv Reseed_setcover.Solution.Exact & info [ "method" ] ~docv:"M" ~doc:"Covering method: $(b,exact), $(b,greedy), $(b,noreduce) or $(b,portfolio).")
+  in
+  let run source scale width method_ deadline jobs cache chaos trace metrics =
+    guard @@ fun () ->
+    apply_chaos chaos;
+    setup_observability ~trace ~metrics;
+    if width < 1 || width > 62 then
+      Error.fail Error.Usage "--block-width %d out of range (1-62)" width;
+    let budget = budget_with_sigint deadline in
+    with_jobs jobs @@ fun pool ->
+    let store = Artifact.resolve ?dir:cache () in
+    let corpus, origin =
+      if Sys.file_exists source && not (Filename.check_suffix source ".bench") then
+        match Artifact.read_opt source with
+        | Some text ->
+            (Workload.corpus_of_text ~file:source ~width text, "raw corpus " ^ source)
+        | None -> Error.fail Error.Input_error "cannot read corpus %s" source
+      else begin
+        let c = load_circuit source ~scale in
+        let p = Suite.prepare_circuit ~budget ?store c in
+        ( Workload.corpus_of_patterns ~width p.Suite.tests,
+          Printf.sprintf "ATPG test set of %s (%d patterns)" (Circuit.name c)
+            (Array.length p.Suite.tests) )
+      end
+    in
+    let r = Workload.solve ~method_ ?pool ~budget ?store corpus in
+    let stats = r.Workload.solution.Reseed_setcover.Solution.stats in
+    Printf.printf "corpus: %s\n" origin;
+    Printf.printf "blocks: %d (%d distinct), width %d\n" r.Workload.corpus_blocks
+      r.Workload.distinct_blocks corpus.Workload.width;
+    Printf.printf "covering matrix: %dx%d, reduced %dx%d, necessary %d\n"
+      stats.Reseed_setcover.Solution.initial_rows
+      stats.Reseed_setcover.Solution.initial_cols
+      stats.Reseed_setcover.Solution.reduced_rows
+      stats.Reseed_setcover.Solution.reduced_cols
+      (List.length stats.Reseed_setcover.Solution.necessary);
+    Printf.printf "dictionary: %d entries, %d bits\n"
+      (List.length r.Workload.entries)
+      r.Workload.dictionary_bits;
+    let total = r.Workload.dictionary_bits + r.Workload.index_bits in
+    Printf.printf "encoded: %d index bits, total %d bits (raw %d, ratio %.2f)\n"
+      r.Workload.index_bits total r.Workload.raw_bits
+      (if total = 0 then 1.0 else float_of_int r.Workload.raw_bits /. float_of_int total);
+    List.iteri
+      (fun i e ->
+        Printf.printf "  %3d: %s\n" i
+          (Workload.entry_to_string ~width:corpus.Workload.width e))
+      r.Workload.entries;
+    if stats.Reseed_setcover.Solution.degraded then
+      Printf.printf "degraded: true (%s)\n"
+        (match Budget.stop_reason budget with
+        | Some s -> Budget.stop_reason_name s
+        | None -> "solver budget");
+    if store <> None then Printf.printf "%s\n" (cache_stats_line ());
+    exit_if_interrupted budget
+  in
+  Cmd.v
+    (Cmd.info "compress"
+       ~doc:"Code-based test-data compression: select a minimum dictionary of fully-specified words covering every ternary test-data block of the corpus, via the same covering pipeline (matrix, reduce, exact end-game) the reseeding flow uses.")
+    Term.(
+      const run $ source_arg $ scale_arg $ width_arg $ method_arg $ deadline_arg
+      $ jobs_arg $ cache_arg $ chaos_arg $ trace_arg $ metrics_arg)
 
 (* fullscan *)
 
@@ -668,6 +777,7 @@ let () =
            gatsby_cmd;
            tradeoff_cmd;
            batch_cmd;
+           compress_cmd;
            fullscan_cmd;
            gen_cmd;
            chaos_cmd;

@@ -89,11 +89,15 @@ let run ?(config = default_config) ?budget sim =
   in
   (* An expired budget stops issuing deterministic generation: surviving
      faults are classified [aborted] (a budget casualty, like a PODEM
-     backtrack limit), so the partial test set stays a sound result. *)
+     backtrack limit), so the partial test set stays a sound result.
+     The deterministic engines are single-pattern: they cannot construct
+     the launch/capture pairs transition faults need, so under that model
+     the phase is skipped wholesale and survivors are aborted honestly. *)
+  let single_pattern = Fault_sim.model sim = Fault_model.Stuck_at in
   (Trace.with_span "atpg.deterministic_phase" @@ fun () ->
    for fi = 0 to nf - 1 do
      if not (Bitvec.get detected fi) then begin
-       if Budget.check budget then aborted := fi :: !aborted
+       if (not single_pattern) || Budget.check budget then aborted := fi :: !aborted
        else
          match deterministic_generate faults.(fi) with
          | Podem.Test pattern ->
@@ -108,9 +112,11 @@ let run ?(config = default_config) ?budget sim =
      end
    done);
   let tests_arr = Array.of_list (List.rev !tests) in
-  (* Phase 3: compaction — skipped on expiry (it only shrinks the set). *)
+  (* Phase 3: compaction — skipped on expiry (it only shrinks the set)
+     and under transition faults (reordering breaks launch/capture
+     adjacency, so every pair the random phase kept would unravel). *)
   let tests_arr, dropped =
-    if config.compaction && not (Budget.check budget) then
+    if config.compaction && single_pattern && not (Budget.check budget) then
       Trace.with_span "atpg.compaction" @@ fun () ->
       Compact.reverse_order sim tests_arr
     else (tests_arr, 0)
@@ -130,7 +136,10 @@ let run ?(config = default_config) ?budget sim =
     stopped_early = Budget.check budget;
   }
 
-let run_circuit ?config ?sim_engine ?faults ?budget c =
-  let faults = match faults with Some f -> f | None -> Fault.all c in
-  let sim = Fault_sim.create ?engine:sim_engine c faults in
+let run_circuit ?config ?sim_engine ?(fault_model = Fault_model.Stuck_at) ?faults
+    ?budget c =
+  let faults =
+    match faults with Some f -> f | None -> Fault_model.faults fault_model c
+  in
+  let sim = Fault_sim.create ?engine:sim_engine ~model:fault_model c faults in
   (sim, run ?config ?budget sim)

@@ -44,17 +44,28 @@ val fault_coverage : Fault_sim.t -> result -> float
 
 (** [run ?config ?budget sim] generates tests for every fault of [sim]'s
     list; an expired [budget] aborts the remaining faults (see
-    [stopped_early]). *)
+    [stopped_early]).
+
+    When [sim] was created with {!Fault_model.Transition_delay}, only the
+    random phase runs: its kept patterns preserve launch/capture
+    adjacency (the launch predecessor of every first-detecting pattern is
+    kept with it), while the single-pattern deterministic engines and
+    reverse-order compaction — both of which would break pair adjacency —
+    are skipped, with surviving faults classified [aborted]. *)
 val run : ?config:config -> ?budget:Budget.t -> Fault_sim.t -> result
 
-(** [run_circuit ?config ?sim_engine ?faults ?budget c] builds the fault list
-    ([faults] defaults to the equivalence-collapsed [Fault.all c]; pass
-    [Collapse.reps] for class-collapsed simulation) and the simulator
-    ([sim_engine] selects the {!Fault_sim.engine}, default [Hybrid]),
-    then runs the flow; returns the simulator too. *)
+(** [run_circuit ?config ?sim_engine ?fault_model ?faults ?budget c]
+    builds the fault list ([faults] defaults to the [fault_model]'s own
+    enumeration, {!Fault_model.faults} — equivalence-collapsed for
+    stuck-at, uncollapsed for transition; pass [Collapse.reps] for
+    class-collapsed stuck-at simulation) and the simulator ([sim_engine]
+    selects the {!Fault_sim.engine}, default [Hybrid]; [fault_model]
+    defaults to {!Fault_model.Stuck_at}), then runs the flow; returns the
+    simulator too. *)
 val run_circuit :
   ?config:config ->
   ?sim_engine:Fault_sim.engine ->
+  ?fault_model:Fault_model.t ->
   ?faults:Fault.t array ->
   ?budget:Budget.t ->
   Circuit.t ->

@@ -31,7 +31,12 @@ let run ?budget sim ~rng ?already ?(max_patterns = 10_000) ?(give_up_after = 5) 
     in
     tried := !tried + block_size;
     (* Which still-active faults does this block catch, and with which
-       pattern first?  Keep only first-detecting patterns. *)
+       pattern first?  Keep only first-detecting patterns.  Each block is
+       graded as its own sweep, so under the transition model detections
+       only ever use launch/capture pairs from inside the block — and the
+       launch pattern [p - 1] must be kept alongside the capture pattern
+       [p], or the kept subset would no longer detect what it claims. *)
+    let transition = Fault_sim.model sim = Fault_model.Transition_delay in
     let active = Bitvec.create nf in
     Bitvec.fill_all active;
     Bitvec.diff_into ~into:active detected;
@@ -44,6 +49,7 @@ let run ?budget sim ~rng ?already ?(max_patterns = 10_000) ?(give_up_after = 5) 
         | Some p when Bitvec.get active fi ->
             Bitvec.set detected fi;
             useful.(p) <- true;
+            if transition && p > 0 then useful.(p - 1) <- true;
             progress := true
         | _ -> ())
       firsts;

@@ -1,0 +1,37 @@
+open Reseed_netlist
+
+type t = Stuck_at | Transition_delay
+
+let all = [ Stuck_at; Transition_delay ]
+
+let name = function Stuck_at -> "stuck" | Transition_delay -> "transition"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "stuck" | "stuck-at" | "stuck_at" -> Some Stuck_at
+  | "transition" | "transition-delay" | "transition_delay" -> Some Transition_delay
+  | _ -> None
+
+let faults m c =
+  match m with
+  | Stuck_at -> Fault.all c
+  | Transition_delay -> Fault.universe c
+
+let site_signal c (f : Fault.t) =
+  match f.Fault.site with
+  | Fault.Out g -> g
+  | Fault.Pin { gate; pin } -> c.Circuit.nodes.(gate).Circuit.fanins.(pin)
+
+let fault_to_string m c (f : Fault.t) =
+  match m with
+  | Stuck_at -> Fault.to_string c f
+  | Transition_delay ->
+      let kind = if f.Fault.stuck then "STF" else "STR" in
+      let base = Fault.to_string c f in
+      (* Rewrite the stuck-at suffix rather than duplicating the site
+         rendering. *)
+      let cut =
+        if String.length base >= 3 then String.sub base 0 (String.length base - 3)
+        else base
+      in
+      cut ^ kind

@@ -1,0 +1,60 @@
+(** Fault models — the workload-facing face of [lib/fault].
+
+    A fault model bundles the three decisions the rest of the pipeline
+    must not hard-code: which sites carry faults (enumeration and
+    collapsing rules), what activates a fault, and how a detection is
+    observed.  Two models are built in:
+
+    - {!Stuck_at} — the paper's single stuck-at model, byte-identical to
+      the historical behaviour: equivalence-collapsed fault list
+      ({!Fault.all}), a fault is detected by any single pattern that
+      excites and observes it.
+    - {!Transition_delay} — slow-to-rise / slow-to-fall faults detected
+      by {e launch/capture pairs} of consecutive patterns: pattern
+      [p-1] (launch) must put the fault site at its slow initial value,
+      and pattern [p] (capture) must then detect the corresponding
+      stuck-at fault (the site "stuck" at its pre-transition value).
+      Consecutive TPG evolution states form exactly such pairs, which
+      is what makes the model a natural fit for reseeding bursts.
+
+    The {!Fault.t} record is shared: under {!Transition_delay},
+    [stuck = false] reads as slow-to-rise (the site behaves s-a-0 during
+    capture, so the launch value must be 0) and [stuck = true] as
+    slow-to-fall (s-a-1 during capture, launch value 1).  In both cases
+    the required launch value {e equals} the capture-cycle stuck value.
+
+    Collapsing: stuck-at equivalence rules (e.g. AND input s-a-0 ≡
+    output s-a-0) do {e not} lift to transition faults — the launch
+    conditions of the two sites differ — so {!faults} enumerates the
+    uncollapsed {!Fault.universe} for {!Transition_delay}. *)
+
+open Reseed_netlist
+
+type t = Stuck_at | Transition_delay
+
+(** Every built-in model, in a fixed order. *)
+val all : t list
+
+(** [name m] is ["stuck"] or ["transition"] — the CLI / manifest /
+    fingerprint spelling. *)
+val name : t -> string
+
+(** [of_string s] parses {!name} output (case-insensitive). *)
+val of_string : string -> t option
+
+(** [faults m c] enumerates the model's fault list with its collapsing
+    rule applied: {!Fault.all} (equivalence-collapsed) for {!Stuck_at},
+    {!Fault.universe} (uncollapsed) for {!Transition_delay}. *)
+val faults : t -> Circuit.t -> Fault.t array
+
+(** [site_signal c f] is the node whose {e good-machine} value at the
+    launch pattern gates the fault's activation under
+    {!Transition_delay}: the stem itself for an [Out] fault, the driving
+    stem of the branch for a [Pin] fault (a branch carries its stem's
+    value).  Meaningless under {!Stuck_at}. *)
+val site_signal : Circuit.t -> Fault.t -> int
+
+(** [fault_to_string m c f] renders the fault in the model's dialect:
+    [".../SA0"]/[".../SA1"] under {!Stuck_at}, [".../STR"] (slow-to-rise)
+    / [".../STF"] (slow-to-fall) under {!Transition_delay}. *)
+val fault_to_string : t -> Circuit.t -> Fault.t -> string

@@ -17,6 +17,16 @@ type t = {
   circuit : Circuit.t;
   faults : Fault.t array;
   engine : engine;
+  model : Fault_model.t;
+  site_sig : int array;
+      (* transition model only: per-fault launch-signal node (the stem
+         whose good value at the launch pattern gates activation) *)
+  launch_prev : Bytes.t;
+      (* transition model only: every node's good value at the last lane
+         of the previous block — the launch value of the next block's
+         lane 0 *)
+  mutable launch_valid : bool;
+      (* false on a sweep's first block: lane 0 has no launch pattern *)
   ffr : Ffr.t;
   po_position : int array; (* node -> PO index, or -1 *)
   prop_stems : int array;
@@ -52,7 +62,7 @@ let scratch n =
     Array.make n 0,
     Array.make n (-1) )
 
-let create ?(engine = Hybrid) circuit faults =
+let create ?(engine = Hybrid) ?(model = Fault_model.Stuck_at) circuit faults =
   let n = Circuit.node_count circuit in
   let po_position = Array.make n (-1) in
   Array.iteri (fun pos node -> po_position.(node) <- pos) circuit.Circuit.outputs;
@@ -65,10 +75,20 @@ let create ?(engine = Hybrid) circuit faults =
     |> Array.of_list
   in
   let stamp, fval, heap, in_heap, obs, obs_stamp, sens, sens_stamp = scratch n in
+  let site_sig =
+    match model with
+    | Fault_model.Stuck_at -> [||]
+    | Fault_model.Transition_delay ->
+        Array.map (Fault_model.site_signal circuit) faults
+  in
   {
     circuit;
     faults;
     engine;
+    model;
+    site_sig;
+    launch_prev = Bytes.make n '\000';
+    launch_valid = false;
     ffr;
     po_position;
     prop_stems;
@@ -96,6 +116,8 @@ let copy t =
   let stamp, fval, heap, in_heap, obs, obs_stamp, sens, sens_stamp = scratch n in
   {
     t with
+    launch_prev = Bytes.make n '\000';
+    launch_valid = false;
     stamp;
     fval;
     heap;
@@ -128,6 +150,7 @@ let merge_sims ~into shards =
 
 let circuit t = t.circuit
 let faults t = t.faults
+let model t = t.model
 let fault_count t = Array.length t.faults
 let sims_performed t = t.sims
 let event_propagations t = t.props
@@ -406,14 +429,45 @@ let process_mode t good mask mode fault =
   | Mode_event -> process t good mask fault
   | Mode_cpt -> process_cpt t good mask fault
 
+(* Per-fault dispatch with the fault model applied.  Under [Stuck_at]
+   this is [process_mode] verbatim.  Under [Transition_delay] the
+   capture-cycle detection word the stuck-at engines computed is masked
+   down to the lanes whose {e preceding} pattern put the launch signal at
+   the fault's slow initial value (= the capture stuck value): lane [k]'s
+   launch value is lane [k-1] of [good] at the site signal, lane 0 takes
+   the last lane of the previous block from [launch_prev], and lane 0 of
+   a sweep's first block has no launch pattern at all and is masked
+   out.  The [sims]/[props] accounting is the capture grade's, so the
+   cost metrics stay comparable across models. *)
+let process_fault t good mask mode fi fault =
+  match t.model with
+  | Fault_model.Stuck_at -> process_mode t good mask mode fault
+  | Fault_model.Transition_delay ->
+      let d = process_mode t good mask mode fault in
+      if d = 0 then 0
+      else begin
+        let s = Array.unsafe_get t.site_sig fi in
+        let carry = Char.code (Bytes.unsafe_get t.launch_prev s) in
+        let launch = ((good.(s) lsl 1) lor carry) land mask in
+        let ok =
+          if fault.Fault.stuck then launch else lnot launch land mask
+        in
+        let valid = if t.launch_valid then mask else mask land lnot 1 in
+        d land ok land valid
+      end
+
 (* Blocks are packed and good-simulated one at a time so that [stop] — the
    fault-dropping early exit or an expired wall-clock budget — skips the
    good-machine work of every block past the last one needed.  One block
    (62 patterns) is the cooperative-cancellation granularity of every
-   sweep: a tripped budget is honoured before the next block starts. *)
+   sweep: a tripped budget is honoured before the next block starts.
+   Every sweep treats its pattern array as a {e sequence}: under the
+   transition model the launch value of each block's lane 0 carries over
+   from the previous block's last lane. *)
 let iter_blocks ?budget ?(stop = fun () -> false) t patterns f =
   let stop () = stop () || Budget.check budget in
   let total = Array.length patterns in
+  t.launch_valid <- false;
   let base = ref 0 in
   while !base < total && not (stop ()) do
     let len = min Logic_sim.block_width (total - !base) in
@@ -421,6 +475,14 @@ let iter_blocks ?budget ?(stop = fun () -> false) t patterns f =
     let good = Logic_sim.simulate t.circuit block in
     let mask = Logic_sim.valid_mask block.Logic_sim.width in
     f ~base:!base ~good ~mask;
+    if t.model = Fault_model.Transition_delay then begin
+      let last = len - 1 in
+      for i = 0 to Array.length good - 1 do
+        Bytes.unsafe_set t.launch_prev i
+          (Char.unsafe_chr ((good.(i) lsr last) land 1))
+      done;
+      t.launch_valid <- true
+    end;
     base := !base + len
   done
 
@@ -453,7 +515,7 @@ let detection_map ?budget t patterns =
       let mode = begin_block t good mask ~live:(fault_count t) in
       Array.iteri
         (fun fi fault ->
-          let d = process_mode t good mask mode fault in
+          let d = process_fault t good mask mode fi fault in
           if d <> 0 then
             (* [d land mask] keeps every set lane below the block length,
                so [base + k] is always in range. *)
@@ -479,7 +541,7 @@ let detected_set ?budget t patterns ~active =
         (fun fi fault ->
           if Bitvec.unsafe_get active fi && not (Bitvec.unsafe_get detected fi)
           then
-            if process_mode t good mask mode fault <> 0 then begin
+            if process_fault t good mask mode fi fault <> 0 then begin
               Bitvec.unsafe_set detected fi;
               decr remaining
             end)
@@ -508,7 +570,7 @@ let first_detections ?budget t ?active patterns =
       Array.iteri
         (fun fi fault ->
           if live fi && result.(fi) = None then begin
-            let d = process_mode t good mask mode fault in
+            let d = process_fault t good mask mode fi fault in
             if d <> 0 then begin
               let k = ref 0 in
               while d lsr !k land 1 = 0 do incr k done;

@@ -1,4 +1,5 @@
-(** Parallel-pattern stuck-at fault simulation with selectable engines.
+(** Parallel-pattern fault simulation with selectable engines and fault
+    models.
 
     Patterns are simulated 62 per block against the good machine once;
     per-fault detection words are then derived by the selected {!engine}:
@@ -16,8 +17,24 @@
       blocks whose live-fault set is sparse, where per-fault cones are
       cheaper than refreshing every stem.
 
-    All three engines produce bit-identical results.  Three entry points
-    cover the library's needs:
+    All three engines produce bit-identical results.
+
+    The {!Fault_model.t} chosen at {!create} fixes the detection
+    semantics of every sweep.  Under {!Fault_model.Stuck_at} (the
+    default) behaviour is the historical single-pattern semantics,
+    verbatim.  Under {!Fault_model.Transition_delay} every sweep treats
+    its pattern array as a {e sequence}: pattern [p] detects a fault iff
+    pattern [p-1] (launch) sets the fault's site signal to its slow
+    initial value {e and} pattern [p] (capture) detects the
+    corresponding stuck-at fault — the capture grade reuses the selected
+    engine unchanged, including the hybrid CPT/dominator machinery, and
+    the launch condition is applied as a per-lane mask with the carry
+    across 62-pattern blocks handled internally.  The first pattern of a
+    sweep has no launch predecessor and detects nothing.  Work counters
+    ({!sims_performed}, {!event_propagations}) count the capture grades,
+    so cost metrics stay comparable across models.
+
+    Three entry points cover the library's needs:
 
     - {!detection_map}: full per-pattern detection bit-matrix — feeds the
       Detection Matrix construction of Section 3.1 of the paper;
@@ -43,13 +60,19 @@ val engine_name : engine -> string
 (** [engine_of_string s] parses {!engine_name} output (case-insensitive). *)
 val engine_of_string : string -> engine option
 
-(** [create ?engine c faults] builds a reusable simulator ([engine]
-    defaults to [Hybrid]).  The fault order fixes the fault indexing used
-    by every result. *)
-val create : ?engine:engine -> Circuit.t -> Fault.t array -> t
+(** [create ?engine ?model c faults] builds a reusable simulator
+    ([engine] defaults to [Hybrid], [model] to
+    {!Fault_model.Stuck_at}).  The fault order fixes the fault indexing
+    used by every result; pair [faults] with the model's own enumeration
+    ({!Fault_model.faults}) unless a test needs a custom list. *)
+val create :
+  ?engine:engine -> ?model:Fault_model.t -> Circuit.t -> Fault.t array -> t
 
 (** [engine t] is the engine [t] was created with. *)
 val engine : t -> engine
+
+(** [model t] is the fault model [t] was created with. *)
+val model : t -> Fault_model.t
 
 (** [copy t] is a simulator over the same circuit and fault list with
     fresh private scratch and zeroed work counters; it can run

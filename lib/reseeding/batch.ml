@@ -4,15 +4,36 @@ open Reseed_setcover
 open Reseed_tpg
 open Reseed_util
 
-type job = { circuit : string; tpg : string; cycles : int }
+type task =
+  | Reseed of { tpg : string; cycles : int; fault_model : Fault_model.t }
+  | Compress of { width : int }
+
+type job = { circuit : string; task : task }
 
 type manifest = {
   method_ : Solution.method_;
   objective : Flow.objective;
   scale : int;
   job_deadline : float option;
+  fault_model : Fault_model.t;
   jobs : job list;
 }
+
+let job_model j =
+  match j.task with
+  | Reseed r -> r.fault_model
+  (* The compression corpus is the stuck-at ATPG test set. *)
+  | Compress _ -> Fault_model.Stuck_at
+
+let task_to_string = function
+  | Reseed { tpg; cycles; fault_model } ->
+      let tag =
+        match fault_model with
+        | Fault_model.Stuck_at -> ""
+        | m -> Printf.sprintf " [%s]" (Fault_model.name m)
+      in
+      Printf.sprintf "%s T=%d%s" tpg cycles tag
+  | Compress { width } -> Printf.sprintf "compress w=%d" width
 
 let tpg_names = [ "adder"; "subtracter"; "multiplier"; "mp-lfsr" ]
 
@@ -36,6 +57,7 @@ let parse_string ?(path = "<manifest>") text =
   let circuits = ref [] and tpgs = ref [] and cycles = ref [] in
   let method_ = ref Solution.Exact and objective = ref Flow.Min_triplets in
   let scale = ref 1 and job_deadline = ref None in
+  let fault_model = ref Fault_model.Stuck_at in
   let explicit = ref [] in
   let check_tpg line name =
     if not (List.mem name tpg_names) then
@@ -45,6 +67,11 @@ let parse_string ?(path = "<manifest>") text =
     match int_of_string_opt s with
     | Some c when c >= 1 -> c
     | _ -> fail_line line "bad evolution length %S (positive integer expected)" s
+  in
+  let parse_model line s =
+    match Fault_model.of_string s with
+    | Some m -> m
+    | None -> fail_line line "unknown fault model %S (stuck|transition)" s
   in
   List.iteri
     (fun i raw ->
@@ -89,20 +116,60 @@ let parse_string ?(path = "<manifest>") text =
                 match float_of_string_opt v with
                 | Some d when d > 0. -> job_deadline := Some d
                 | _ -> fail_line line "bad job_deadline %S (positive seconds expected)" v)
+            | "fault_model" -> fault_model := parse_model line v
             | _ -> fail_line line "unknown manifest key %S" key)
         | None -> (
             match String.split_on_char ' ' s |> List.filter (fun x -> x <> "") with
             | [ "job"; circuit; tpg; cy ] ->
                 check_tpg line tpg;
-                explicit := { circuit; tpg; cycles = parse_cycles line cy } :: !explicit
-            | "job" :: _ -> fail_line line "job line wants: job CIRCUIT TPG CYCLES"
+                explicit :=
+                  {
+                    circuit;
+                    task =
+                      Reseed
+                        {
+                          tpg;
+                          cycles = parse_cycles line cy;
+                          fault_model = !fault_model;
+                        };
+                  }
+                  :: !explicit
+            | [ "job"; circuit; tpg; cy; model ] ->
+                check_tpg line tpg;
+                explicit :=
+                  {
+                    circuit;
+                    task =
+                      Reseed
+                        {
+                          tpg;
+                          cycles = parse_cycles line cy;
+                          fault_model = parse_model line model;
+                        };
+                  }
+                  :: !explicit
+            | "job" :: _ ->
+                fail_line line "job line wants: job CIRCUIT TPG CYCLES [FAULT_MODEL]"
+            | [ "compress"; circuit; w ] -> (
+                match int_of_string_opt w with
+                | Some width when width >= 1 && width <= 62 ->
+                    explicit := { circuit; task = Compress { width } } :: !explicit
+                | _ -> fail_line line "bad block width %S (integer 1-62 expected)" w)
+            | "compress" :: _ -> fail_line line "compress line wants: compress CIRCUIT WIDTH"
+            | w :: _ :: _ ->
+                fail_line line
+                  "unknown workload %S (job or compress line expected)" w
             | _ -> fail_line line "cannot parse %S (KEY = VALUE or job line expected)" s))
     (String.split_on_char '\n' text);
   let product =
     List.concat_map
       (fun circuit ->
         List.concat_map
-          (fun tpg -> List.map (fun cycles -> { circuit; tpg; cycles }) !cycles)
+          (fun tpg ->
+            List.map
+              (fun cycles ->
+                { circuit; task = Reseed { tpg; cycles; fault_model = !fault_model } })
+              !cycles)
           !tpgs)
       !circuits
   in
@@ -115,6 +182,7 @@ let parse_string ?(path = "<manifest>") text =
     objective = !objective;
     scale = !scale;
     job_deadline = !job_deadline;
+    fault_model = !fault_model;
     jobs;
   }
 
@@ -127,15 +195,21 @@ let parse_file path =
 
 type status = Ok | Skipped
 
-type job_result = {
-  job : job;
-  status : status;
-  triplets : int;
-  test_length : int;
-  rom_bits : int;
-  coverage_pct : float;
-  degraded : bool;
-}
+type metrics =
+  | Reseed_metrics of {
+      triplets : int;
+      test_length : int;
+      rom_bits : int;
+      coverage_pct : float;
+    }
+  | Compress_metrics of {
+      entries : int;
+      dictionary_bits : int;
+      index_bits : int;
+      raw_bits : int;
+    }
+
+type job_result = { job : job; status : status; metrics : metrics; degraded : bool }
 
 let m_completed =
   Metrics.counter ~help:"batch jobs completed" "batch_jobs_completed"
@@ -150,30 +224,36 @@ let m_skipped =
 let fp_job = Faultpoint.register "batch.job"
 
 let skipped_result job =
-  {
-    job;
-    status = Skipped;
-    triplets = 0;
-    test_length = 0;
-    rom_bits = 0;
-    coverage_pct = 0.;
-    degraded = true;
-  }
+  let metrics =
+    match job.task with
+    | Reseed _ ->
+        Reseed_metrics
+          { triplets = 0; test_length = 0; rom_bits = 0; coverage_pct = 0. }
+    | Compress _ ->
+        Compress_metrics
+          { entries = 0; dictionary_bits = 0; index_bits = 0; raw_bits = 0 }
+  in
+  { job; status = Skipped; metrics; degraded = true }
 
 let run ?pool ?store ?budget ?on_done manifest =
   Trace.with_span "batch.run"
     ~args:[ ("jobs", string_of_int (List.length manifest.jobs)) ]
   @@ fun () ->
   let jobs = Array.of_list manifest.jobs in
-  (* Distinct circuits prepare once, sequentially: the ATPG front-end is
-     itself parallel inside, and each prepared workload is then shared
-     read-only by every job on that circuit. *)
-  let prepared : (string, Suite.prepared) Hashtbl.t = Hashtbl.create 8 in
+  (* Distinct (circuit, fault model) pairs prepare once, sequentially:
+     the ATPG front-end is itself parallel inside, and each prepared
+     workload is then shared read-only by every job on it.  A stuck-at
+     and a transition job on the same circuit are different workloads —
+     different fault list, different test set. *)
+  let prepared : (string * string, Suite.prepared) Hashtbl.t = Hashtbl.create 8 in
+  let prep_key j = (j.circuit, Fault_model.name (job_model j)) in
   Array.iter
     (fun j ->
-      if not (Hashtbl.mem prepared j.circuit) then
-        Hashtbl.replace prepared j.circuit
-          (Suite.prepare ~scale_factor:manifest.scale ?budget ?store j.circuit))
+      let key = prep_key j in
+      if not (Hashtbl.mem prepared key) then
+        Hashtbl.replace prepared key
+          (Suite.prepare ~scale_factor:manifest.scale ~fault_model:(job_model j)
+             ?budget ?store j.circuit))
     jobs;
   let results = Array.map skipped_result jobs in
   let pool = match pool with Some p -> p | None -> Pool.default () in
@@ -191,38 +271,66 @@ let run ?pool ?store ?budget ?on_done manifest =
             | None, Some d -> Some (Budget.create ~deadline_s:d ())
             | None, None -> None
           in
-          let p = Hashtbl.find prepared job.circuit in
-          (* Concurrent jobs on one circuit must not share the prepared
-             simulator's scratch state. *)
-          let sim = Fault_sim.copy p.Suite.sim in
-          let tpg = tpg_of_name job.tpg (Circuit.input_count p.Suite.circuit) in
-          let config =
-            {
-              Flow.default_config with
-              Flow.builder =
-                { Builder.default_config with Builder.cycles = job.cycles };
-              method_ = manifest.method_;
-              objective = manifest.objective;
-            }
-          in
-          let r =
-            Flow.run ~config ?budget:job_budget ?store:p.Suite.store
-              ~fingerprint:p.Suite.fingerprint sim tpg ~tests:p.Suite.tests
-              ~targets:p.Suite.targets
-          in
-          results.(i) <-
-            {
-              job;
-              status = Ok;
-              triplets = Flow.reseedings r;
-              test_length = r.Flow.test_length;
-              rom_bits =
-                List.fold_left
-                  (fun acc t -> acc + Triplet.storage_bits t)
-                  0 r.Flow.final_triplets;
-              coverage_pct = r.Flow.coverage_pct;
-              degraded = r.Flow.degraded || p.Suite.atpg.Reseed_atpg.Atpg.stopped_early;
-            };
+          let p = Hashtbl.find prepared (prep_key job) in
+          (match job.task with
+          | Reseed { tpg = tpg_name; cycles; fault_model = _ } ->
+              (* Concurrent jobs on one circuit must not share the
+                 prepared simulator's scratch state. *)
+              let sim = Fault_sim.copy p.Suite.sim in
+              let tpg = tpg_of_name tpg_name (Circuit.input_count p.Suite.circuit) in
+              let config =
+                {
+                  Flow.default_config with
+                  Flow.builder = { Builder.default_config with Builder.cycles };
+                  method_ = manifest.method_;
+                  objective = manifest.objective;
+                }
+              in
+              let r =
+                Flow.run ~config ?budget:job_budget ?store:p.Suite.store
+                  ~fingerprint:p.Suite.fingerprint sim tpg ~tests:p.Suite.tests
+                  ~targets:p.Suite.targets
+              in
+              results.(i) <-
+                {
+                  job;
+                  status = Ok;
+                  metrics =
+                    Reseed_metrics
+                      {
+                        triplets = Flow.reseedings r;
+                        test_length = r.Flow.test_length;
+                        rom_bits =
+                          List.fold_left
+                            (fun acc t -> acc + Triplet.storage_bits t)
+                            0 r.Flow.final_triplets;
+                        coverage_pct = r.Flow.coverage_pct;
+                      };
+                  degraded =
+                    r.Flow.degraded || p.Suite.atpg.Reseed_atpg.Atpg.stopped_early;
+                }
+          | Compress { width } ->
+              let corpus = Workload.corpus_of_patterns ~width p.Suite.tests in
+              let c =
+                Workload.solve ~method_:manifest.method_ ?budget:job_budget
+                  ?store:p.Suite.store corpus
+              in
+              results.(i) <-
+                {
+                  job;
+                  status = Ok;
+                  metrics =
+                    Compress_metrics
+                      {
+                        entries = List.length c.Workload.entries;
+                        dictionary_bits = c.Workload.dictionary_bits;
+                        index_bits = c.Workload.index_bits;
+                        raw_bits = c.Workload.raw_bits;
+                      };
+                  degraded =
+                    c.Workload.solution.Solution.stats.Solution.degraded
+                    || p.Suite.atpg.Reseed_atpg.Atpg.stopped_early;
+                });
           Metrics.incr m_completed
         end;
         Option.iter (fun f -> f i results.(i)) on_done
@@ -250,13 +358,32 @@ let report_json manifest results =
   List.iteri
     (fun i r ->
       Buffer.add_string b (if i = 0 then "\n" else ",\n");
-      Buffer.add_string b
-        (Printf.sprintf
-           "    { \"circuit\": %S, \"tpg\": %S, \"cycles\": %d, \"status\": %S, \
-            \"triplets\": %d, \"test_length\": %d, \"rom_bits\": %d, \
-            \"coverage_pct\": %.4f, \"degraded\": %b }"
-           r.job.circuit r.job.tpg r.job.cycles (status_name r.status) r.triplets
-           r.test_length r.rom_bits r.coverage_pct r.degraded))
+      (* Stuck-at reseeding jobs keep the historical line format exactly;
+         the fault_model field appears only for other models, so a
+         stuck-at-only report is byte-identical to older releases. *)
+      match (r.job.task, r.metrics) with
+      | Reseed { tpg; cycles; fault_model }, Reseed_metrics m ->
+          let model_field =
+            match fault_model with
+            | Fault_model.Stuck_at -> ""
+            | fm -> Printf.sprintf "\"fault_model\": %S, " (Fault_model.name fm)
+          in
+          Buffer.add_string b
+            (Printf.sprintf
+               "    { \"circuit\": %S, \"tpg\": %S, \"cycles\": %d, %s\"status\": \
+                %S, \"triplets\": %d, \"test_length\": %d, \"rom_bits\": %d, \
+                \"coverage_pct\": %.4f, \"degraded\": %b }"
+               r.job.circuit tpg cycles model_field (status_name r.status)
+               m.triplets m.test_length m.rom_bits m.coverage_pct r.degraded)
+      | Compress { width }, Compress_metrics m ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "    { \"circuit\": %S, \"task\": \"compress\", \"width\": %d, \
+                \"status\": %S, \"entries\": %d, \"dictionary_bits\": %d, \
+                \"index_bits\": %d, \"raw_bits\": %d, \"degraded\": %b }"
+               r.job.circuit width (status_name r.status) m.entries
+               m.dictionary_bits m.index_bits m.raw_bits r.degraded)
+      | _ -> assert false)
     results;
   Buffer.add_string b "\n  ],\n";
   Buffer.add_string b

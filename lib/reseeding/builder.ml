@@ -55,10 +55,12 @@ let make_triplets ~config tpg tests =
         ~cycles:config.cycles)
     tests
 
-let fingerprint ?salt ~tests ~targets tpg ~config =
+let fingerprint ?salt ?(fault_model = Fault_model.Stuck_at) ~tests ~targets tpg
+    ~config =
   let open Fingerprint in
   let h = salted "matrix" in
   let h = option int64 h salt in
+  let h = string h ("workload:faults:" ^ Fault_model.name fault_model) in
   let h = int h config.cycles in
   let h = int h config.seed in
   let h = string h (operand_tag config.operand_mode) in
@@ -144,7 +146,10 @@ let build ?pool ?budget ?checkpoint ?store ?fingerprint:fp sim tpg ~tests ~targe
   if Bitvec.length targets <> nf then invalid_arg "Builder.build: target mask size";
   let fp =
     match (store, fp) with
-    | Some _, None -> Some (fingerprint ~tests ~targets tpg ~config)
+    | Some _, None ->
+        Some
+          (fingerprint ~fault_model:(Fault_sim.model sim) ~tests ~targets tpg
+             ~config)
     | _ -> fp
   in
   Artifact.cached
@@ -179,6 +184,7 @@ let build ?pool ?budget ?checkpoint ?store ?fingerprint:fp sim tpg ~tests ~targe
           Checkpoint.fingerprint ~tests ~targets ~cycles:config.cycles
             ~seed:config.seed
             ~operand_tag:(operand_tag config.operand_mode)
+            ~fault_model:(Fault_model.name (Fault_sim.model sim))
             ~tpg:tpg.Tpg.name ~width
         in
         Checkpoint.open_dir ~dir ~fingerprint:fp ~rows:n ~cols:nf)

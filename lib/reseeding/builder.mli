@@ -57,14 +57,18 @@ type t = {
     without touching a fault simulator. *)
 val make_triplets : config:config -> Tpg.t -> bool array array -> Triplet.t array
 
-(** [fingerprint ?salt ~tests ~targets tpg ~config] keys the [matrix]
-    stage: the ATPG patterns, target mask, TPG identity and width, and
-    the builder config (cycles, operand mode, seed).  [salt] folds in the
-    upstream lineage — the ATPG-stage fingerprint — so changing how the
-    tests were produced (ATPG config, simulation engine, fault collapsing)
-    misses the cache even when the patterns happen to coincide. *)
+(** [fingerprint ?salt ?fault_model ~tests ~targets tpg ~config] keys the
+    [matrix] stage: the ATPG patterns, target mask, TPG identity and
+    width, and the builder config (cycles, operand mode, seed).  [salt]
+    folds in the upstream lineage — the ATPG-stage fingerprint — so
+    changing how the tests were produced (ATPG config, simulation engine,
+    fault collapsing) misses the cache even when the patterns happen to
+    coincide.  [fault_model] (default {!Fault_model.Stuck_at}) salts the
+    key with the detection semantics the rows were simulated under, so a
+    stuck-at matrix can never satisfy a transition-delay request. *)
 val fingerprint :
   ?salt:Fingerprint.t ->
+  ?fault_model:Fault_model.t ->
   tests:bool array array -> targets:Bitvec.t -> Tpg.t -> config:config -> Fingerprint.t
 
 (** [build ?pool ?budget ?checkpoint ?store ?fingerprint sim tpg ~tests

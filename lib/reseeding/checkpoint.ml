@@ -9,13 +9,15 @@ type t = { dir : string; fingerprint : int64; rows : int; cols : int }
 
 let dir t = t.dir
 
-let fingerprint ~tests ~targets ~cycles ~seed ~operand_tag ~tpg ~width =
+let fingerprint ~tests ~targets ~cycles ~seed ~operand_tag ~fault_model ~tpg
+    ~width =
   let open Fingerprint in
   let h = salted "checkpoint" in
   let h = int h cycles in
   let h = int h seed in
   let h = int h width in
   let h = string h operand_tag in
+  let h = string h ("workload:faults:" ^ fault_model) in
   let h = string h tpg in
   let h = bitvec h targets in
   patterns h tests

@@ -27,14 +27,19 @@ type t
 (** Rows per chunk file — the granularity of both persistence and loss. *)
 val chunk_rows : int
 
-(** [fingerprint ~tests ~targets ~cycles ~seed ~operand_tag ~tpg ~width]
-    digests every input the matrix rows depend on. *)
+(** [fingerprint ~tests ~targets ~cycles ~seed ~operand_tag ~fault_model
+    ~tpg ~width] digests every input the matrix rows depend on;
+    [fault_model] is the {!Reseed_fault.Fault_model.name} tag of the
+    detection semantics the rows were simulated under, so a checkpoint
+    directory from a stuck-at build is auto-reset rather than resumed
+    into a transition-delay one. *)
 val fingerprint :
   tests:bool array array ->
   targets:Bitvec.t ->
   cycles:int ->
   seed:int ->
   operand_tag:string ->
+  fault_model:string ->
   tpg:string ->
   width:int ->
   int64

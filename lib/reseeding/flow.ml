@@ -381,7 +381,8 @@ let run ?(config = default_config) ?pool ?budget ?checkpoint ?store ?fingerprint
   Trace.with_span "flow.run" ~args:[ ("tpg", tpg.Tpg.name) ] @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let fpm =
-    Builder.fingerprint ?salt:fingerprint ~tests ~targets tpg ~config:config.builder
+    Builder.fingerprint ?salt:fingerprint ~fault_model:(Fault_sim.model sim)
+      ~tests ~targets tpg ~config:config.builder
   in
   let initial =
     Builder.build ?pool ?budget ?checkpoint ?store ~fingerprint:fpm sim tpg ~tests

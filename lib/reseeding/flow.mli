@@ -100,6 +100,24 @@ val run :
   targets:Bitvec.t ->
   result
 
+(** [staged_solve ~method_ ~reduce ?row_weights ?budget ?pool store fpm m]
+    is {!Reseed_setcover.Solution.solve} with each expensive leg —
+    reduce, end-game solve — memoised in [store], keyed off the
+    matrix-stage fingerprint [fpm] exactly as {!run} keys them.  Staged
+    and plain runs are bit-identical.  Exposed so other workloads mapped
+    onto the same covering {!Reseed_setcover.Matrix} (the compression
+    workload, see {!Workload}) can reuse the cached covering pipeline. *)
+val staged_solve :
+  method_:Solution.method_ ->
+  reduce:Reduce.config ->
+  ?row_weights:float array ->
+  ?budget:Budget.t ->
+  ?pool:Pool.t ->
+  Artifact.store ->
+  Fingerprint.t ->
+  Matrix.t ->
+  Solution.t
+
 (** [run_prebuilt ?config ?pool ?budget ?store ?fingerprint sim tpg
     ~initial ~targets] is the back half of {!run} — covering, end-game
     and Section-4 truncation — over an already-built {!Builder.t}.  The

@@ -11,6 +11,7 @@ type prepared = {
   tests : bool array array;
   targets : Bitvec.t;
   atpg : Atpg.result;
+  fault_model : Fault_model.t;
   collapse : Collapse.t option;
   fingerprint : Fingerprint.t;
   store : Artifact.store option;
@@ -38,12 +39,16 @@ let atpg_engine_tag = function
   | Atpg.Sat_engine -> "sat"
 
 (* The ATPG-stage key digests everything the prepared workload depends
-   on: the netlist, the full ATPG config, the fault-simulation engine and
-   the collapse mode.  It doubles as the lineage salt for every later
-   stage of this circuit's pipeline. *)
-let atpg_fingerprint ?sim_engine ~config ~collapse circuit =
+   on: the netlist, the full ATPG config, the fault-simulation engine,
+   the fault model and the collapse mode.  It doubles as the lineage salt
+   for every later stage of this circuit's pipeline, so the workload tag
+   below propagates into every downstream stage key — a warm stuck-at
+   store is a guaranteed miss for a transition-delay request. *)
+let atpg_fingerprint ?sim_engine ?(fault_model = Fault_model.Stuck_at) ~config
+    ~collapse circuit =
   let open Fingerprint in
   let h = salted "atpg" in
+  let h = string h ("workload:faults:" ^ Fault_model.name fault_model) in
   let h = int64 h (circuit_fingerprint circuit) in
   let h = int h config.Atpg.seed in
   let h = int h config.Atpg.max_random_patterns in
@@ -97,23 +102,32 @@ let decode_atpg ~width ~fault_count r =
     stopped_early = false;
   }
 
-let prepare_circuit ?atpg_config ?sim_engine ?(collapse = false) ?budget ?store
-    circuit =
+let prepare_circuit ?atpg_config ?sim_engine ?(fault_model = Fault_model.Stuck_at)
+    ?(collapse = false) ?budget ?store circuit =
   Trace.with_span "suite.prepare" ~args:[ ("circuit", Circuit.name circuit) ]
   @@ fun () ->
+  if collapse && fault_model <> Fault_model.Stuck_at then
+    Error.fail Error.Usage
+      "fault model %s does not support collapsing (stuck-at equivalences do not \
+       lift to launch/capture semantics)"
+      (Fault_model.name fault_model);
   let config = Option.value atpg_config ~default:Atpg.default_config in
-  let fingerprint = atpg_fingerprint ?sim_engine ~config ~collapse circuit in
+  let fingerprint =
+    atpg_fingerprint ?sim_engine ~fault_model ~config ~collapse circuit
+  in
   let classes =
     if collapse then
       Some (Trace.with_span "collapse.compute" @@ fun () -> Collapse.compute circuit)
     else None
   in
   let faults =
-    match classes with Some cl -> Collapse.reps cl | None -> Fault.all circuit
+    match classes with
+    | Some cl -> Collapse.reps cl
+    | None -> Fault_model.faults fault_model circuit
   in
   (* On a warm hit the ATPG never runs, so the simulator it would have
-     returned is rebuilt directly — same circuit, fault order and engine,
-     hence the same detection behaviour. *)
+     returned is rebuilt directly — same circuit, fault order, engine and
+     model, hence the same detection behaviour. *)
   let sim_ref = ref None in
   let atpg =
     Artifact.cached store ~stage:"atpg" ~fp:fingerprint ~encode:encode_atpg
@@ -122,14 +136,16 @@ let prepare_circuit ?atpg_config ?sim_engine ?(collapse = false) ?budget ?store
            ~width:(Circuit.input_count circuit)
            ~fault_count:(Array.length faults))
     @@ fun () ->
-    let sim, r = Atpg.run_circuit ~config ?sim_engine ~faults ?budget circuit in
+    let sim, r =
+      Atpg.run_circuit ~config ?sim_engine ~fault_model ~faults ?budget circuit
+    in
     sim_ref := Some sim;
     r
   in
   let sim =
     match !sim_ref with
     | Some s -> s
-    | None -> Fault_sim.create ?engine:sim_engine circuit faults
+    | None -> Fault_sim.create ?engine:sim_engine ~model:fault_model circuit faults
   in
   {
     circuit;
@@ -137,13 +153,15 @@ let prepare_circuit ?atpg_config ?sim_engine ?(collapse = false) ?budget ?store
     tests = atpg.Atpg.tests;
     targets = atpg.Atpg.detected;
     atpg;
+    fault_model;
     collapse = classes;
     fingerprint;
     store;
   }
 
-let prepare ?scale_factor ?atpg_config ?sim_engine ?collapse ?budget ?store name =
-  prepare_circuit ?atpg_config ?sim_engine ?collapse ?budget ?store
+let prepare ?scale_factor ?atpg_config ?sim_engine ?fault_model ?collapse ?budget
+    ?store name =
+  prepare_circuit ?atpg_config ?sim_engine ?fault_model ?collapse ?budget ?store
     (Library.load ?scale_factor name)
 
 (* Universe-level coverage implied by a detection set over the prepared
@@ -178,12 +196,18 @@ let flow_config_with_cycles cycles =
         Flow.builder = { Builder.default_config with Builder.cycles = c };
       }
 
-(* Flow runs are deterministic; Table 1 and Table 2 share them. *)
-let flow_cache : (string * string * int, Flow.result) Hashtbl.t = Hashtbl.create 64
+(* Flow runs are deterministic; Table 1 and Table 2 share them.  The key
+   carries the fault-model tag so a stuck-at and a transition row for the
+   same circuit/TPG/T never collide within one process. *)
+let flow_cache : (string * string * string * int, Flow.result) Hashtbl.t =
+  Hashtbl.create 64
 
 let cached_flow p tpg config =
   let key =
-    (Circuit.name p.circuit, tpg.Tpg.name, config.Flow.builder.Builder.cycles)
+    ( Circuit.name p.circuit,
+      Fault_model.name p.fault_model,
+      tpg.Tpg.name,
+      config.Flow.builder.Builder.cycles )
   in
   match Hashtbl.find_opt flow_cache key with
   | Some r -> r

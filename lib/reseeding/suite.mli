@@ -17,13 +17,16 @@ type prepared = {
   tests : bool array array;  (** ATPGTS *)
   targets : Bitvec.t;  (** fault list F := faults ATPGTS covers *)
   atpg : Atpg.result;
+  fault_model : Fault_model.t;
+      (** the detection semantics the workload was prepared under; [sim]
+          was created with the same model *)
   collapse : Collapse.t option;
       (** class structure when prepared with [~collapse:true]: [sim] then
           runs over the class representatives only *)
   fingerprint : Fingerprint.t;
       (** the ATPG-stage fingerprint — netlist, ATPG config, simulation
-          engine and collapse mode.  Lineage salt for every downstream
-          stage key of this workload. *)
+          engine, fault model and collapse mode.  Lineage salt for every
+          downstream stage key of this workload. *)
   store : Artifact.store option;
       (** the artifact store the workload was prepared against; threaded
           to every flow run on this workload *)
@@ -35,14 +38,19 @@ type prepared = {
     for cache-invalidation tests. *)
 val circuit_fingerprint : Circuit.t -> Fingerprint.t
 
-(** [prepare ?scale_factor ?atpg_config ?sim_engine ?collapse name] loads
-    a catalog circuit and runs the ATPG front-end once.  [sim_engine]
-    selects the fault-simulation engine every downstream phase uses
-    (default [Fault_sim.Hybrid]).  [collapse] (default [false]) simulates
-    one representative per structural fault class ({!Collapse}),
-    shrinking every downstream fault-simulation.  [budget] bounds the
-    ATPG front-end (see {!Atpg.run}): on expiry the test set is partial
-    but sound, and [targets] shrinks accordingly.
+(** [prepare ?scale_factor ?atpg_config ?sim_engine ?fault_model ?collapse
+    name] loads a catalog circuit and runs the ATPG front-end once.
+    [sim_engine] selects the fault-simulation engine every downstream
+    phase uses (default [Fault_sim.Hybrid]).  [fault_model] (default
+    {!Fault_model.Stuck_at}) fixes the detection semantics of the whole
+    workload — fault list, ATPG phases, every downstream sweep — and is
+    folded into the [fingerprint], so artifacts never cross models.
+    [collapse] (default [false]) simulates one representative per
+    structural fault class ({!Collapse}), shrinking every downstream
+    fault-simulation; it is a stuck-at notion and raises
+    {!Reseed_util.Error.Reseed_error} ([Usage]) under any other model.
+    [budget] bounds the ATPG front-end (see {!Atpg.run}): on expiry the
+    test set is partial but sound, and [targets] shrinks accordingly.
 
     [store] memoises the ATPG stage: a warm prepare skips test
     generation entirely (the simulator is rebuilt, the result decoded),
@@ -52,17 +60,19 @@ val prepare :
   ?scale_factor:int ->
   ?atpg_config:Atpg.config ->
   ?sim_engine:Fault_sim.engine ->
+  ?fault_model:Fault_model.t ->
   ?collapse:bool ->
   ?budget:Budget.t ->
   ?store:Artifact.store ->
   string ->
   prepared
 
-(** [prepare_circuit ?atpg_config ?sim_engine ?collapse ?budget ?store c]
-    — same, for an arbitrary circuit. *)
+(** [prepare_circuit ?atpg_config ?sim_engine ?fault_model ?collapse
+    ?budget ?store c] — same, for an arbitrary circuit. *)
 val prepare_circuit :
   ?atpg_config:Atpg.config ->
   ?sim_engine:Fault_sim.engine ->
+  ?fault_model:Fault_model.t ->
   ?collapse:bool ->
   ?budget:Budget.t ->
   ?store:Artifact.store ->

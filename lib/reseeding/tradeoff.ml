@@ -13,10 +13,12 @@ type point = { cycles : int; triplets : int; test_length : int }
    thresholding "first < T" of those indices.  The whole grid costs one
    matrix build instead of |grid|. *)
 
-let sweep_fingerprint ?salt ~tests ~targets ~builder ~t_max tpg =
+let sweep_fingerprint ?salt ?(fault_model = Fault_model.Stuck_at) ~tests ~targets
+    ~builder ~t_max tpg =
   let open Fingerprint in
   let h = salted "sweep" in
   let h = option int64 h salt in
+  let h = string h ("workload:faults:" ^ Fault_model.name fault_model) in
   let h = int h t_max in
   let h = int h builder.Builder.seed in
   let h = string h (Builder.operand_tag builder.Builder.operand_mode) in
@@ -72,7 +74,10 @@ let sweep ?(flow_config = Flow.default_config) ?pool ?store ?fingerprint sim tpg
     let shard = Fault_sim.shard sim (Pool.jobs pool) in
     let firsts =
       Artifact.cached store ~stage:"sweep"
-        ~fp:(sweep_fingerprint ?salt:fingerprint ~tests ~targets ~builder ~t_max tpg)
+        ~fp:
+          (sweep_fingerprint ?salt:fingerprint
+             ~fault_model:(Fault_sim.model sim) ~tests ~targets ~builder ~t_max
+             tpg)
         ~encode:encode_firsts
         ~decode:(decode_firsts ~rows:n ~faults:nf)
       @@ fun () ->
@@ -136,7 +141,8 @@ let sweep ?(flow_config = Flow.default_config) ?pool ?store ?fingerprint sim tpg
             }
           in
           let fpm =
-            Builder.fingerprint ?salt:fingerprint ~tests ~targets tpg
+            Builder.fingerprint ?salt:fingerprint
+              ~fault_model:(Fault_sim.model sim) ~tests ~targets tpg
               ~config:config.Flow.builder
           in
           let r =

@@ -11,5 +11,6 @@ let () =
    @ Test_ga_gatsby.suite @ Test_flow.suite @ Test_fullscan_misr.suite
    @ Test_diagnose.suite @ Test_parallel.suite @ Test_properties.suite
    @ Test_observability.suite @ Test_pipeline.suite
+   @ Test_workload.suite
    @ Test_robustness.suite @ Test_resilience.suite @ Test_scale.suite
    @ Test_chaos.suite @ Test_integration.suite)

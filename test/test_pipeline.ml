@@ -325,12 +325,15 @@ let test_batch_parse () =
   check "objective defaults" true (m.Batch.objective = Flow.Min_triplets);
   check_int "scale defaults" 1 m.Batch.scale;
   check "no deadline" true (m.Batch.job_deadline = None);
+  let reseed tpg cycles =
+    Batch.Reseed { tpg; cycles; fault_model = Reseed_fault.Fault_model.Stuck_at }
+  in
   check "jobs: cross product then explicit" true
     (m.Batch.jobs
     = [
-        { Batch.circuit = "c17"; tpg = "adder"; cycles = 40 };
-        { Batch.circuit = "c17"; tpg = "subtracter"; cycles = 40 };
-        { Batch.circuit = "c17"; tpg = "multiplier"; cycles = 60 };
+        { Batch.circuit = "c17"; task = reseed "adder" 40 };
+        { Batch.circuit = "c17"; task = reseed "subtracter" 40 };
+        { Batch.circuit = "c17"; task = reseed "multiplier" 60 };
       ])
 
 let test_batch_parse_errors () =
